@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test test-all check bench experiments examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# includes the `Slow`-marked exhaustive suites
+test-all:
+	dune runtest --force
+
+# tests + a quick pass over every experiment (sanity gate)
+check: test
+	dune exec bin/repro.exe -- all --quick
+
+bench:
+	dune exec bench/main.exe
+
+# regenerate every experiment table (~4 minutes; EXPERIMENTS.md material)
+experiments:
+	dune exec bin/repro.exe -- all
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/adversary_demo.exe -- 64
+	dune exec examples/leader_election.exe
+	dune exec examples/metrics_aggregation.exe
+	dune exec examples/progress_tracker.exe
+
+doc:  # requires odoc (not in this sealed container)
+	dune build @doc
+
+clean:
+	dune clean
