@@ -1,0 +1,200 @@
+(* Bechamel micro-benchmarks: wall-clock single-operation latency of every
+   implementation on the native (Atomic) backend, one group per table of
+   EXPERIMENTS.md.
+
+   - E1/ReadMax + E1/WriteMax: max registers (Theorem 6's O(1) read vs the
+     AAC register's O(log M) read, uncontended).
+   - E2/CounterRead + E2/CounterIncrement: counters.
+   - E3/Scan + E3/Update: single-writer snapshots.
+
+   These complement the exact step counts of `repro e1..e3` (the paper's
+   cost model) with machine time, and the multi-domain throughput of
+   `repro e7` (contended).  The sigma-round and essential-set adversaries
+   are driven by `repro e4`/`repro e5`, not benched here — they measure
+   rounds, not time.
+
+   Note: counters are restricted-use; a long benchmark saturates the AAC
+   counter's bounded registers.  Past saturation an increment still walks
+   its full path, so the timing stays representative of the worst case. *)
+
+open Bechamel
+open Toolkit
+
+let n = 64
+
+(* {1 Max registers} *)
+
+let maxreg_read_tests =
+  List.map
+    (fun impl ->
+      let reg = Harness.Instances.maxreg_native ~n ~bound:65536 impl in
+      reg.write_max ~pid:0 1234;
+      Test.make
+        ~name:(Harness.Instances.maxreg_name impl)
+        (Staged.stage (fun () -> ignore (reg.read_max ()))))
+    [ Harness.Instances.Algorithm_a;
+      Harness.Instances.Aac_maxreg;
+      Harness.Instances.B1_maxreg;
+      Harness.Instances.Cas_maxreg ]
+
+let maxreg_write_tests =
+  List.map
+    (fun impl ->
+      let reg = Harness.Instances.maxreg_native ~n ~bound:65536 impl in
+      let v = ref 0 in
+      Test.make
+        ~name:(Harness.Instances.maxreg_name impl)
+        (Staged.stage (fun () ->
+             incr v;
+             reg.write_max ~pid:0 !v)))
+    [ Harness.Instances.Algorithm_a;
+      Harness.Instances.Aac_maxreg;
+      Harness.Instances.B1_maxreg;
+      Harness.Instances.Cas_maxreg ]
+
+(* {1 Counters} *)
+
+let counter_impls =
+  [ Harness.Instances.Farray_counter;
+    Harness.Instances.Aac_counter;
+    Harness.Instances.Naive_counter;
+    Harness.Instances.Snapshot_counter Harness.Instances.Farray_snapshot ]
+
+let counter_read_tests =
+  List.map
+    (fun impl ->
+      let c = Harness.Instances.counter_native ~n ~bound:65536 impl in
+      for pid = 0 to n - 1 do
+        c.increment ~pid
+      done;
+      Test.make
+        ~name:(Harness.Instances.counter_name impl)
+        (Staged.stage (fun () -> ignore (c.read ()))))
+    counter_impls
+
+let counter_inc_tests =
+  List.map
+    (fun impl ->
+      let c = Harness.Instances.counter_native ~n ~bound:65536 impl in
+      Test.make
+        ~name:(Harness.Instances.counter_name impl)
+        (Staged.stage (fun () -> c.increment ~pid:0)))
+    counter_impls
+
+(* {1 Snapshots} *)
+
+let snapshot_impls =
+  [ Harness.Instances.Farray_snapshot;
+    Harness.Instances.Double_collect;
+    Harness.Instances.Afek ]
+
+let snapshot_scan_tests =
+  List.map
+    (fun impl ->
+      let s = Harness.Instances.snapshot_native ~n impl in
+      for pid = 0 to n - 1 do
+        s.update ~pid pid
+      done;
+      Test.make
+        ~name:(Harness.Instances.snapshot_name impl)
+        (Staged.stage (fun () -> ignore (s.scan ()))))
+    snapshot_impls
+
+let snapshot_update_tests =
+  List.map
+    (fun impl ->
+      let s = Harness.Instances.snapshot_native ~n impl in
+      let v = ref 0 in
+      Test.make
+        ~name:(Harness.Instances.snapshot_name impl)
+        (Staged.stage (fun () ->
+             incr v;
+             s.update ~pid:0 !v)))
+    snapshot_impls
+
+(* {1 Max arrays} *)
+
+let max_array_instances () =
+  [ ( "from-registers",
+      let module A = Maxarray.Max_array.From_registers (Smem.Atomic_memory) in
+      Maxarray.Max_array.instantiate (module A) (A.create ~n) );
+    ( "from-snapshot",
+      let module A = Maxarray.Max_array.From_snapshot (Smem.Atomic_memory) in
+      Maxarray.Max_array.instantiate (module A) (A.create ~n) );
+    ( "from-farray",
+      let module A = Maxarray.Max_array.From_farray (Smem.Atomic_memory) in
+      Maxarray.Max_array.instantiate (module A) (A.create ~n) ) ]
+
+let max_array_scan_tests =
+  List.map
+    (fun (name, (m : Maxarray.Max_array.instance)) ->
+      m.update0 ~pid:0 5;
+      m.update1 ~pid:1 9;
+      Test.make ~name (Staged.stage (fun () -> ignore (m.scan ()))))
+    (max_array_instances ())
+
+let max_array_update_tests =
+  List.map
+    (fun (name, (m : Maxarray.Max_array.instance)) ->
+      let v = ref 0 in
+      Test.make ~name
+        (Staged.stage (fun () ->
+             incr v;
+             m.update0 ~pid:0 !v)))
+    (max_array_instances ())
+
+let groups =
+  [ ("E1/ReadMax", Test.make_grouped ~name:"E1/ReadMax" maxreg_read_tests);
+    ("E1/WriteMax", Test.make_grouped ~name:"E1/WriteMax" maxreg_write_tests);
+    ("E2/CounterRead", Test.make_grouped ~name:"E2/CounterRead" counter_read_tests);
+    ("E2/CounterIncrement",
+     Test.make_grouped ~name:"E2/CounterIncrement" counter_inc_tests);
+    ("E3/Scan", Test.make_grouped ~name:"E3/Scan" snapshot_scan_tests);
+    ("E3/Update", Test.make_grouped ~name:"E3/Update" snapshot_update_tests);
+    ("MaxArray/Scan", Test.make_grouped ~name:"MaxArray/Scan" max_array_scan_tests);
+    ("MaxArray/Update", Test.make_grouped ~name:"MaxArray/Update" max_array_update_tests) ]
+
+(* {1 Driver} *)
+
+let benchmark test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_group name results =
+  Printf.printf "## %s (N = %d, uncontended, single domain)\n\n" name n;
+  Printf.printf "| %-45s | %12s | %6s |\n" "implementation" "ns/op" "r^2";
+  Printf.printf "|%s|%s|%s|\n" (String.make 47 '-') (String.make 14 '-')
+    (String.make 8 '-');
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter
+    (fun (test_name, ols_result) ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      Printf.printf "| %-45s | %12.1f | %6.3f |\n" test_name ns r2)
+    rows;
+  print_newline ()
+
+let () =
+  Printf.printf
+    "bechamel micro-benchmarks: restricted-use objects (PODC'14 \
+     reproduction)\n\n%!";
+  List.iter
+    (fun (name, group) ->
+      let results = benchmark group in
+      print_group name results)
+    groups

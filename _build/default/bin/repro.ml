@@ -1,0 +1,101 @@
+(* The experiment driver: regenerates every table of EXPERIMENTS.md.
+
+     repro e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | f4 | all
+
+   Sizes are chosen so `repro all` completes in a couple of minutes; pass
+   --quick for a fast smoke pass. *)
+
+let experiments : (string * string * (quick:bool -> string)) list =
+  [ ( "e1", "max-register step complexity (Theorem 6 vs AAC)",
+      fun ~quick ->
+        let ns = if quick then [ 16; 64 ] else [ 16; 64; 256; 1024; 4096 ] in
+        Experiments.E1_maxreg_steps.run ~ns () );
+    ( "e2", "counter step complexity envelopes",
+      fun ~quick ->
+        let ns = if quick then [ 4; 16 ] else [ 4; 16; 64; 256; 1024 ] in
+        Experiments.E2_counter_steps.run ~ns () );
+    ( "e3", "snapshot step complexity envelopes",
+      fun ~quick ->
+        let ns = if quick then [ 4; 16 ] else [ 4; 16; 64; 256; 1024 ] in
+        Experiments.E3_snapshot_steps.run ~ns () );
+    ( "e4", "Theorem 1 adversary: rounds vs log3(N/f(N))",
+      fun ~quick ->
+        let ns = if quick then [ 8; 16 ] else [ 8; 16; 32; 64; 128; 256 ] in
+        Experiments.E4_theorem1.run ~ns () );
+    ( "e5", "Theorem 3 adversary: essential-set iterations (Figs. 1-3)",
+      fun ~quick ->
+        let ks = if quick then [ 16; 64 ] else [ 16; 64; 256; 1024; 4096; 16384 ] in
+        Experiments.E5_theorem3.run ~ks () );
+    ( "e6", "linearizability sweep (Theorem 5 + the line-16 finding)",
+      fun ~quick ->
+        let schedules = if quick then 50 else 400 in
+        Experiments.E6_linearizability.run ~schedules () );
+    ( "e7", "native multi-domain throughput (the O(1)-read payoff)",
+      fun ~quick ->
+        let seconds = if quick then 0.1 else 0.5 in
+        Experiments.E7_native.run ~seconds () );
+    ( "e8", "Lemma 1 growth profile + the Definition 1 visibility finding",
+      fun ~quick ->
+        let n = if quick then 16 else 48 in
+        Experiments.E8_lemma1.run ~n () );
+    ( "e9", "liveness audit: wait-freedom vs interference",
+      fun ~quick -> ignore quick; Experiments.E9_liveness.run () );
+    ( "e10", "workload crossovers: where each side of the tradeoff wins",
+      fun ~quick ->
+        let seconds = if quick then 0.1 else 0.3 in
+        Experiments.E10_crossover.run ~seconds () );
+    ( "f4", "Figure 4 data-structure audit",
+      fun ~quick ->
+        let n = if quick then 64 else 1024 in
+        Experiments.F4_structure.run ~n () );
+    ( "a1", "ablation: B1 vs complete left subtree in Algorithm A",
+      fun ~quick ->
+        let ns = if quick then [ 64; 1024 ] else [ 64; 1024; 16384 ] in
+        Experiments.A1_b1_ablation.run ~ns () );
+    ( "a2", "ablation: double vs single refresh (exhaustive interleavings)",
+      fun ~quick -> ignore quick; Experiments.A2_refresh_ablation.run () ) ]
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps, faster run.")
+
+let setup_logs =
+  let setup style_renderer level =
+    Fmt_tty.setup_std_outputs ?style_renderer ();
+    Logs.set_level level;
+    Logs.set_reporter (Logs_fmt.reporter ())
+  in
+  Term.(const setup $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let run_one name descr f =
+  let action () q =
+    print_string (f ~quick:q);
+    print_newline ()
+  in
+  Cmd.v
+    (Cmd.info name ~doc:descr)
+    Term.(const action $ setup_logs $ quick)
+
+let all_cmd =
+  let action () q =
+    List.iter
+      (fun (name, _, f) ->
+        Printf.printf "=== %s ===\n%!" name;
+        print_string (f ~quick:q);
+        print_newline ())
+      experiments
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in sequence.")
+    Term.(const action $ setup_logs $ quick)
+
+let () =
+  let cmds = List.map (fun (n, d, f) -> run_one n d f) experiments @ [ all_cmd ] in
+  let info =
+    Cmd.info "repro" ~version:"1.0"
+      ~doc:
+        "Regenerate the tables of the PODC'14 paper reproduction (Hendler & \
+         Khait, Complexity Tradeoffs for Read and Update Operations)."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

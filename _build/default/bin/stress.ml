@@ -1,0 +1,167 @@
+(* Randomized linearizability stress-testing tool.
+
+     stress --object maxreg --impl algorithm-a --procs 4 --seeds 1000
+     stress --object counter --impl farray --readers 2
+     stress --object snapshot --impl afek
+
+   Each seed builds a fresh instance, runs a random schedule over mixed
+   operations, extracts the history and checks it with the Wing-Gong
+   checker.  Violating seeds are printed (and the exit code is non-zero),
+   making this usable for soak testing and for bisecting new
+   implementations.  Keep --procs small: checking cost grows exponentially
+   with concurrency. *)
+
+open Memsim
+
+let run_maxreg ~impl ~procs ~readers ~value_range ~seed =
+  let session = Session.create () in
+  let reg =
+    Harness.Annotate.max_register session
+      (Harness.Instances.maxreg_sim session ~n:procs ~bound:value_range impl)
+  in
+  let rng = Random.State.make [| seed |] in
+  let sched = Scheduler.create session in
+  for pid = 0 to procs - 1 do
+    let v = Random.State.int rng value_range in
+    ignore
+      (Scheduler.spawn sched (fun () ->
+           if pid < procs - readers then reg.write_max ~pid v
+           else ignore (reg.read_max ())))
+  done;
+  Scheduler.run_random ~seed ~max_events:1_000_000 sched;
+  let trace = Scheduler.finish sched in
+  Linearize.Checker.check_trace (module Linearize.Spec.Max_register) ~n:procs
+    trace
+
+let run_counter ~impl ~procs ~readers ~seed =
+  let session = Session.create () in
+  let c =
+    Harness.Annotate.counter session
+      (Harness.Instances.counter_sim session ~n:procs ~bound:64 impl)
+  in
+  let sched = Scheduler.create session in
+  for pid = 0 to procs - 1 do
+    ignore
+      (Scheduler.spawn sched (fun () ->
+           if pid < procs - readers then c.increment ~pid
+           else ignore (c.read ())))
+  done;
+  Scheduler.run_random ~seed ~max_events:1_000_000 sched;
+  let trace = Scheduler.finish sched in
+  Linearize.Checker.check_trace (module Linearize.Spec.Counter) ~n:procs trace
+
+let run_snapshot ~impl ~procs ~readers ~value_range ~seed =
+  let session = Session.create () in
+  let s =
+    Harness.Annotate.snapshot session
+      (Harness.Instances.snapshot_sim session ~n:procs impl)
+  in
+  let rng = Random.State.make [| seed |] in
+  let sched = Scheduler.create session in
+  for pid = 0 to procs - 1 do
+    let v = 1 + Random.State.int rng value_range in
+    ignore
+      (Scheduler.spawn sched (fun () ->
+           if pid < procs - readers then s.update ~pid v
+           else ignore (s.scan ())))
+  done;
+  Scheduler.run_random ~seed ~max_events:1_000_000 sched;
+  let trace = Scheduler.finish sched in
+  Linearize.Checker.check_trace (module Linearize.Spec.Snapshot) ~n:procs trace
+
+let lookup_impl kind impl_name =
+  let fail () =
+    `Error
+      (false,
+       Printf.sprintf "unknown %s implementation %S" kind impl_name)
+  in
+  match kind with
+  | "maxreg" -> (
+    match
+      List.find_opt
+        (fun i -> Harness.Instances.maxreg_name i = impl_name)
+        (Harness.Instances.Algorithm_a_literal :: Harness.Instances.all_maxregs)
+    with
+    | Some i -> `Maxreg i
+    | None -> fail ())
+  | "counter" -> (
+    match
+      List.find_opt
+        (fun i -> Harness.Instances.counter_name i = impl_name)
+        Harness.Instances.all_counters
+    with
+    | Some i -> `Counter i
+    | None -> fail ())
+  | "snapshot" -> (
+    match
+      List.find_opt
+        (fun i -> Harness.Instances.snapshot_name i = impl_name)
+        Harness.Instances.all_snapshots
+    with
+    | Some i -> `Snapshot i
+    | None -> fail ())
+  | _ -> `Error (false, Printf.sprintf "unknown object kind %S" kind)
+
+let stress kind impl_name procs readers seeds value_range =
+  match lookup_impl kind impl_name with
+  | `Error _ as e -> e
+  | (`Maxreg _ | `Counter _ | `Snapshot _) as target ->
+    let violations = ref [] in
+    for seed = 1 to seeds do
+      let ok =
+        match target with
+        | `Maxreg i -> run_maxreg ~impl:i ~procs ~readers ~value_range ~seed
+        | `Counter i -> run_counter ~impl:i ~procs ~readers ~seed
+        | `Snapshot i -> run_snapshot ~impl:i ~procs ~readers ~value_range ~seed
+      in
+      if not ok then violations := seed :: !violations
+    done;
+    Printf.printf "%s/%s: %d seeds, %d processes (%d readers): %d violations%s\n"
+      kind impl_name seeds procs readers
+      (List.length !violations)
+      (match !violations with
+       | [] -> ""
+       | vs ->
+         " at seeds "
+         ^ String.concat ", " (List.map string_of_int (List.rev vs)));
+    if !violations = [] then `Ok () else `Error (false, "violations found")
+
+open Cmdliner
+
+let kind =
+  Arg.(
+    value
+    & opt string "maxreg"
+    & info [ "object" ] ~docv:"KIND" ~doc:"Object kind: maxreg, counter or snapshot.")
+
+let impl_name =
+  Arg.(
+    value
+    & opt string "algorithm-a"
+    & info [ "impl" ] ~docv:"NAME"
+        ~doc:
+          "Implementation name, as printed by the experiment tables (e.g. \
+           algorithm-a, algorithm-a-literal, aac, cas-loop, farray, naive, \
+           afek, double-collect).")
+
+let procs =
+  Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Concurrent processes (keep small).")
+
+let readers =
+  Arg.(value & opt int 1 & info [ "readers" ] ~doc:"How many processes read instead of writing.")
+
+let seeds =
+  Arg.(value & opt int 500 & info [ "seeds" ] ~doc:"Number of random schedules to try.")
+
+let value_range =
+  Arg.(value & opt int 8 & info [ "values" ] ~doc:"Operand range (small ranges provoke duplicate-value races).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "stress" ~version:"1.0"
+       ~doc:
+         "Randomized linearizability stress tests for the PODC'14 \
+          restricted-use objects.")
+    Term.(ret (const stress $ kind $ impl_name $ procs $ readers $ seeds $ value_range))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Array Harness List Lowerbound Printf String Sys

@@ -1,0 +1,1 @@
+examples/leader_election.ml: Atomic Domain Harness List Printf Random

@@ -1,0 +1,1 @@
+examples/metrics_aggregation.ml: Atomic Domain Harness List Printf Random Unix

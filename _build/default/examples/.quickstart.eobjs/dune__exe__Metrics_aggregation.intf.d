@@ -1,0 +1,1 @@
+examples/metrics_aggregation.mli:

@@ -1,0 +1,1 @@
+examples/progress_tracker.ml: Array Domain Harness List Printf Random String Unix

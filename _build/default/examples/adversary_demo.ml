@@ -1,0 +1,55 @@
+(* A guided run of the Theorem 3 adversary (Figures 1-3 of the paper, in
+   text): watch the essential-set construction drive WriteMax operations on
+   Algorithm A, iteration by iteration, then verify the final execution
+   still reads correctly.
+
+     dune exec examples/adversary_demo.exe [K] *)
+
+let () =
+  let k = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 64 in
+  Printf.printf
+    "Theorem 3 essential-set construction against Algorithm A, K = %d\n\
+     %d writer processes; process i performs WriteMax(i+1)\n\n%!"
+    k (k - 1);
+  let r =
+    Lowerbound.Theorem3.run ~impl:"algorithm-a"
+      ~make_maxreg:(fun session ~n ->
+        Harness.Instances.maxreg_sim session ~n ~bound:(2 * n)
+          Harness.Instances.Algorithm_a)
+      ~k ~f_k:1 ()
+  in
+  List.iter
+    (fun (it : Lowerbound.Theorem3.iteration) ->
+      Printf.printf
+        "iteration %d: %-10s %3d active essential, %2d finished -> kept %3d \
+         (erased %3d%s)   invariants: hidden=%b supreme=%b\n"
+        it.index
+        (Lowerbound.Theorem3.case_name it.case)
+        it.active it.completed it.next_essential it.erased
+        (if it.halted then ", 1 halted" else "")
+        it.hidden_ok it.supreme_ok)
+    r.iterations;
+  Printf.printf "\nstopped: %s after i* = %d iterations (theory ~ %.2f)\n"
+    r.stop_reason r.i_star r.predicted_i_star;
+  Printf.printf
+    "each of the %d surviving essential processes has spent %d steps inside \
+     ONE WriteMax —\nthe cost Theorem 3 says any read-optimal max register \
+     must pay.\n"
+    (List.length r.final_essential)
+    r.i_star;
+  Printf.printf "\nLemma 2 (erase-and-replay indistinguishability): %s\n"
+    (if r.lemma2_ok then "verified on every replay" else "VIOLATED");
+  Printf.printf
+    "post-construction probe (run everyone to completion, then ReadMax): %s\n"
+    (if r.final_read_ok then "correct" else "WRONG");
+  (* Show the execution itself for small K. *)
+  if k <= 20 then begin
+    print_endline "\nThe construction schedules only these writers:";
+    Printf.printf "  final essential: %s\n"
+      (String.concat ", "
+         (List.map (fun p -> Printf.sprintf "p%d(v=%d)" p (p + 1))
+            r.final_essential));
+    Printf.printf "  halted:          %s\n"
+      (String.concat ", "
+         (List.map (fun p -> Printf.sprintf "p%d(v=%d)" p (p + 1)) r.halted))
+  end

@@ -1,0 +1,56 @@
+(* Consistent progress tracking with an atomic snapshot.
+
+   Worker domains chew through partitioned work, publishing progress into
+   their snapshot segment.  A coordinator scans: because Scan is atomic, it
+   sees a *consistent* cut — total progress never appears to exceed the
+   work actually done, and a "straggler detector" comparing segments inside
+   one scan is meaningful (with per-worker reads it would race).
+
+     dune exec examples/progress_tracker.exe *)
+
+let workers = max 2 (min 4 (Domain.recommended_domain_count ()) - 1)
+let items_per_worker = 400_000
+
+let () =
+  Printf.printf "progress tracker: %d workers x %d items\n%!" workers
+    items_per_worker;
+  let progress =
+    Harness.Instances.snapshot_native ~n:workers
+      Harness.Instances.Farray_snapshot
+  in
+  let domains =
+    List.init workers (fun w ->
+        Domain.spawn (fun () ->
+            let rng = Random.State.make [| w; 7 |] in
+            for item = 1 to items_per_worker do
+              (* simulate uneven work *)
+              if Random.State.int rng 100 < 2 then Domain.cpu_relax ();
+              if item mod 1000 = 0 || item = items_per_worker then
+                progress.update ~pid:w item
+            done))
+  in
+  let total = workers * items_per_worker in
+  let bar_width = 40 in
+  let finished = ref false in
+  let violations = ref 0 in
+  while not !finished do
+    let cut = progress.scan () in
+    let done_ = Array.fold_left ( + ) 0 cut in
+    (* consistency: an atomic cut can never show more than the total *)
+    if done_ > total then incr violations;
+    let slowest = Array.fold_left min max_int cut in
+    let fastest = Array.fold_left max 0 cut in
+    let filled = done_ * bar_width / total in
+    Printf.printf "\r[%s%s] %3d%%  straggler gap: %d items   %!"
+      (String.make filled '#')
+      (String.make (bar_width - filled) '-')
+      (done_ * 100 / total)
+      (fastest - slowest);
+    if done_ = total then finished := true else Unix.sleepf 0.05
+  done;
+  print_newline ();
+  List.iter Domain.join domains;
+  let final = progress.scan () in
+  Printf.printf "final cut: [%s], consistency violations: %d\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int final)))
+    !violations

@@ -1,0 +1,1 @@
+lib/counters/aac_counter.ml: Array Maxreg Memsim Simval Smem Treeprim

@@ -1,0 +1,1 @@
+lib/counters/aac_counter.mli: Smem

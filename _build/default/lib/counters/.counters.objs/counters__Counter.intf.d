@@ -1,0 +1,1 @@
+lib/counters/counter.mli:

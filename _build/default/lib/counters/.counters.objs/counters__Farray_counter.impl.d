@@ -1,0 +1,1 @@
+lib/counters/farray_counter.ml: Farray Memsim Simval Smem

@@ -1,0 +1,1 @@
+lib/counters/naive_counter.mli: Smem

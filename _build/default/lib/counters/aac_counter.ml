@@ -1,0 +1,75 @@
+(* The Aspnes-Attiya-Censor counter [2]: a complete binary tree over N
+   single-writer leaves whose internal nodes are bounded max registers
+   holding the subtree's increment count.
+
+   CounterIncrement(i): bump leaf i, then rewrite each ancestor with the sum
+   of its children's current values (a WriteMax — sums are monotone, so the
+   max register keeps the freshest sum).  CounterRead: ReadMax of the root.
+
+   With B-bounded max registers (B = max total increments, polynomial in N):
+     CounterRead       O(log B)          = O(log N)
+     CounterIncrement  O(log N * log B)  = O(log^2 N).
+
+   Built from reads and writes only. *)
+
+open Memsim
+
+module Make (M : Smem.Memory_intf.MEMORY) = struct
+  module A = Maxreg.Aac_maxreg.Make (M)
+
+  type payload =
+    | Plain of M.t  (* leaf: single-writer increment count of one process *)
+    | Max of A.t    (* internal: bound-limited max register *)
+
+  type t = {
+    root : payload Treeprim.Tree_shape.node;
+    leaves : payload Treeprim.Tree_shape.node array;
+    n : int;
+    bound : int;
+  }
+
+  let create ~n ~bound =
+    if n <= 0 then invalid_arg "Aac_counter.create: n must be > 0";
+    if bound <= 0 then invalid_arg "Aac_counter.create: bound must be > 0";
+    let mk () = Max (A.create ~bound:(bound + 1)) in
+    let mk_leaf () = Plain (M.make (Simval.Int 0)) in
+    let root, leaves = Treeprim.Tree_shape.complete ~mk ~mk_leaf ~nleaves:n () in
+    { root; leaves; n; bound }
+
+  let value_of_node (node : payload Treeprim.Tree_shape.node) =
+    match node.Treeprim.Tree_shape.data with
+    | Plain reg -> Simval.int_or ~default:0 (M.read reg)
+    | Max mr -> A.read_max mr
+
+  let child_value = function
+    | None -> 0
+    | Some node -> value_of_node node
+
+  let read t =
+    match t.root.Treeprim.Tree_shape.data with
+    | Max mr -> A.read_max mr
+    | Plain reg -> Simval.int_or ~default:0 (M.read reg) (* n = 1 *)
+
+  let increment t ~pid =
+    if pid < 0 || pid >= t.n then invalid_arg "Aac_counter.increment: bad pid";
+    let leaf = t.leaves.(pid) in
+    (match leaf.Treeprim.Tree_shape.data with
+     | Plain reg ->
+       let c = Simval.int_or ~default:0 (M.read reg) in
+       M.write reg (Simval.Int (c + 1))
+     | Max _ -> assert false);
+    let rec up (node : payload Treeprim.Tree_shape.node) =
+      match node.Treeprim.Tree_shape.parent with
+      | None -> ()
+      | Some parent ->
+        let sum =
+          child_value parent.Treeprim.Tree_shape.left
+          + child_value parent.Treeprim.Tree_shape.right
+        in
+        (match parent.Treeprim.Tree_shape.data with
+         | Max mr -> A.write_max mr ~pid sum
+         | Plain _ -> assert false);
+        up parent
+    in
+    up leaf
+end

@@ -1,0 +1,18 @@
+(** The Aspnes–Attiya–Censor counter (JACM 2012), from reads and writes
+    only: a complete tree over single-writer leaves whose internal nodes
+    are bounded max registers holding subtree sums.
+
+    With B-bounded registers (B = maximum total increments):
+    CounterRead O(log B), CounterIncrement O(log N · log B) — i.e.
+    O(log N) and O(log² N) for polynomially many increments, the point the
+    paper's Theorem 1 trades against. *)
+
+module Make (M : Smem.Memory_intf.MEMORY) : sig
+  type t
+
+  val create : n:int -> bound:int -> t
+  (** [n] processes, at most [bound] total increments. *)
+
+  val increment : t -> pid:int -> unit
+  val read : t -> int
+end

@@ -1,0 +1,23 @@
+(* Common interface of counter implementations.
+
+   Sequential specification: [read] returns the number of [increment]
+   instances that precede it.  All implementations here are restricted-use:
+   they assume the total number of increments stays below a bound fixed at
+   creation (polynomial in N in the paper's setting). *)
+
+module type S = sig
+  type t
+
+  val increment : t -> pid:int -> unit
+  val read : t -> int
+end
+
+(* A closed instance, for harnesses that treat implementations uniformly. *)
+type instance = {
+  increment : pid:int -> unit;
+  read : unit -> int;
+}
+
+let instantiate (type a) (module I : S with type t = a) (c : a) =
+  { increment = (fun ~pid -> I.increment c ~pid);
+    read = (fun () -> I.read c) }

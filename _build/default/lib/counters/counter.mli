@@ -1,0 +1,22 @@
+(** Common interface of counter implementations.
+
+    Sequential specification: [read] returns the number of [increment]
+    instances preceding it.  All implementations are restricted-use: the
+    total number of increments must stay below a bound fixed at creation
+    (polynomial in N in the paper's setting). *)
+
+module type S = sig
+  type t
+
+  val increment : t -> pid:int -> unit
+  val read : t -> int
+end
+
+(** A closed instance, for harnesses that treat implementations
+    uniformly. *)
+type instance = {
+  increment : pid:int -> unit;
+  read : unit -> int;
+}
+
+val instantiate : (module S with type t = 'a) -> 'a -> instance

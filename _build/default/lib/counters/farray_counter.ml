@@ -1,0 +1,22 @@
+(* Jayanti's counter from an f-array with f = sum [14]: CounterRead is a
+   single read of the root (O(1)), CounterIncrement bumps the caller's leaf
+   and propagates (O(log N)).  Theorem 1 of the paper shows this read/update
+   point is optimal for read/write/CAS implementations. *)
+
+open Memsim
+
+module Make (M : Smem.Memory_intf.MEMORY) = struct
+  module F = Farray.Make (M)
+
+  type t = F.t
+
+  let sum a b = Simval.Int (Simval.int_or ~default:0 a + Simval.int_or ~default:0 b)
+
+  let create ~n = F.create ~n ~combine:sum ()
+
+  let read t = Simval.int_or ~default:0 (F.read t)
+
+  let increment t ~pid =
+    let c = Simval.int_or ~default:0 (F.read_leaf t pid) in
+    F.update t ~leaf:pid (Simval.Int (c + 1))
+end

@@ -1,0 +1,13 @@
+(** Jayanti's counter from an f-array with f = sum: CounterRead O(1),
+    CounterIncrement O(log N), from read/write/CAS.  Theorem 1 of the
+    paper shows this read/update point is optimal. *)
+
+module Make (M : Smem.Memory_intf.MEMORY) : sig
+  type t
+
+  val create : n:int -> t
+  val increment : t -> pid:int -> unit
+
+  val read : t -> int
+  (** One shared-memory event. *)
+end

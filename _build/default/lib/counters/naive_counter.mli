@@ -1,0 +1,11 @@
+(** The opposite end of the tradeoff: one single-writer register per
+    process.  CounterIncrement O(1), CounterRead O(N).  Wait-free, reads
+    and writes only. *)
+
+module Make (M : Smem.Memory_intf.MEMORY) : sig
+  type t
+
+  val create : n:int -> t
+  val increment : t -> pid:int -> unit
+  val read : t -> int
+end

@@ -1,0 +1,1 @@
+lib/experiments/a1_b1_ablation.ml: Harness List Maxreg Memsim Session Smem

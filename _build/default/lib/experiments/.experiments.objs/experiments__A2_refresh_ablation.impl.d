@@ -1,0 +1,1 @@
+lib/experiments/a2_refresh_ablation.ml: Explore Farray Harness List Memsim Session Simval Smem

@@ -1,0 +1,1 @@
+lib/experiments/e10_crossover.ml: Array Atomic Domain Harness List Memsim Printf Random Session Unix

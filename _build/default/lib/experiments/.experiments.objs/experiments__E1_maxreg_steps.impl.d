@@ -1,0 +1,1 @@
+lib/experiments/e1_maxreg_steps.ml: Harness List Memsim Session

@@ -1,0 +1,1 @@
+lib/experiments/e2_counter_steps.ml: Harness List Memsim Session

@@ -1,0 +1,1 @@
+lib/experiments/e3_snapshot_steps.ml: Harness List Memsim Session

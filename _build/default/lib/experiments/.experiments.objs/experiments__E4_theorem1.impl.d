@@ -1,0 +1,1 @@
+lib/experiments/e4_theorem1.ml: E2_counter_steps Harness List Lowerbound Printf

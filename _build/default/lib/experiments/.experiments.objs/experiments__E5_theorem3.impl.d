@@ -1,0 +1,1 @@
+lib/experiments/e5_theorem3.ml: Harness List Lowerbound Option Printf String

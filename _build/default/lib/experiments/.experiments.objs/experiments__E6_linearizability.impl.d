@@ -1,0 +1,1 @@
+lib/experiments/e6_linearizability.ml: Harness Linearize List Memsim Random Scheduler Session

@@ -1,0 +1,1 @@
+lib/experiments/e7_native.ml: Array Atomic Domain Harness List Printf Unix

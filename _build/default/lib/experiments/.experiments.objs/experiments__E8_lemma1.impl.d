@@ -1,0 +1,1 @@
+lib/experiments/e8_lemma1.ml: Fun Harness Infoflow List Lowerbound Memsim Printf Scheduler Session

@@ -1,0 +1,1 @@
+lib/experiments/e9_liveness.ml: Harness List Memsim Session

@@ -1,0 +1,1 @@
+lib/experiments/f4_structure.ml: Harness List Maxreg Memsim Printf Session Smem

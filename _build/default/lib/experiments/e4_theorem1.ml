@@ -1,0 +1,52 @@
+(* E4 — the Theorem 1 tradeoff, empirically.
+
+   Running the sigma-round adversary against each counter regenerates the
+   tradeoff curve: with read complexity f(N), completing N-1 adversarially
+   scheduled increments takes at least ~ log3(N / f(N)) rounds, each round
+   costing every unfinished incrementer one step.  Also verifies Lemma 1
+   (familiarity growth <= 3x per round) and Lemma 3 (the reader ends up
+   aware of everybody) on every run. *)
+
+let f_of impl n =
+  (* the measured read step complexity, used as f(N) in the bound *)
+  let r = E2_counter_steps.measure impl ~n in
+  r.E2_counter_steps.read_steps
+
+let sweep ?(ns = [ 8; 16; 32; 64; 128 ]) () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun impl ->
+          let f_n = f_of impl n in
+          Lowerbound.Theorem1.run
+            ~impl:(Harness.Instances.counter_name impl)
+            ~make_counter:(fun session ~n ->
+              Harness.Instances.counter_sim session ~n ~bound:(4 * n) impl)
+            ~n ~f_n)
+        [ Harness.Instances.Farray_counter;
+          Harness.Instances.Aac_counter;
+          Harness.Instances.Naive_counter;
+          Harness.Instances.Snapshot_counter Harness.Instances.Farray_snapshot ])
+    ns
+
+let table rows =
+  Harness.Tables.render
+    ~title:
+      "E4: Theorem 1 adversary — sigma-rounds to complete N-1 increments \
+       (>= log3(N/f(N)) predicted)"
+    ~header:
+      [ "impl"; "N"; "f(N) measured"; "rounds"; "predicted >="; "slowest inc";
+        "read ok"; "lemma1"; "lemma3" ]
+    (List.map
+       (fun (r : Lowerbound.Theorem1.result) ->
+         [ r.impl; string_of_int r.n;
+           string_of_int r.reader_steps;
+           string_of_int r.rounds;
+           Printf.sprintf "%.2f" r.predicted_rounds;
+           string_of_int r.max_inc_steps;
+           string_of_bool (r.reader_result = r.n - 1);
+           string_of_bool r.lemma1_ok;
+           string_of_bool r.lemma3_ok ])
+       rows)
+
+let run ?ns () = table (sweep ?ns ())

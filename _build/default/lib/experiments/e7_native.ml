@@ -1,0 +1,101 @@
+(* E7 — the practical payoff of O(1) reads (Section 5's positive result),
+   on real parallel hardware: OCaml 5 domains over the Atomic backend.
+
+   Wall-clock throughput of read-heavy and write-heavy mixes over the max
+   registers, and counter read/increment mixes.  The paper's model counts
+   steps; this experiment checks that the step-count ordering survives
+   contact with real cache coherence. *)
+
+type row = {
+  structure : string;
+  impl : string;
+  mix : string;
+  domains : int;
+  ops_per_sec : float;
+}
+
+let run_mix ~domains ~seconds ~(op : int -> int -> unit) =
+  let stop = Atomic.make false in
+  let counts = Array.init domains (fun _ -> Atomic.make 0) in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let i = ref 0 in
+            while not (Atomic.get stop) do
+              op d !i;
+              incr i;
+              Atomic.incr counts.(d)
+            done))
+  in
+  Unix.sleepf seconds;
+  Atomic.set stop true;
+  List.iter Domain.join workers;
+  let total = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 counts in
+  float_of_int total /. seconds
+
+let maxreg_rows ~domains ~seconds =
+  List.concat_map
+    (fun impl ->
+      let name = Harness.Instances.maxreg_name impl in
+      let make () =
+        Harness.Instances.maxreg_native ~n:domains ~bound:10_000_000 impl
+      in
+      (* read-heavy: domain 0 writes, the rest read *)
+      let reg = make () in
+      let read_heavy =
+        run_mix ~domains ~seconds ~op:(fun d i ->
+            if d = 0 then reg.write_max ~pid:0 i else ignore (reg.read_max ()))
+      in
+      (* write-heavy: everyone writes increasing values *)
+      let reg = make () in
+      let write_heavy =
+        run_mix ~domains ~seconds ~op:(fun d i ->
+            reg.write_max ~pid:d ((i * domains) + d))
+      in
+      [ { structure = "max-register"; impl = name; mix = "read-heavy";
+          domains; ops_per_sec = read_heavy };
+        { structure = "max-register"; impl = name; mix = "write-heavy";
+          domains; ops_per_sec = write_heavy } ])
+    [ Harness.Instances.Algorithm_a;
+      Harness.Instances.Aac_maxreg;
+      Harness.Instances.Cas_maxreg ]
+
+let counter_rows ~domains ~seconds =
+  List.concat_map
+    (fun impl ->
+      let name = Harness.Instances.counter_name impl in
+      let c =
+        Harness.Instances.counter_native ~n:domains ~bound:1_000_000_000 impl
+      in
+      let read_heavy =
+        run_mix ~domains ~seconds ~op:(fun d _ ->
+            if d = 0 then c.increment ~pid:0 else ignore (c.read ()))
+      in
+      let c =
+        Harness.Instances.counter_native ~n:domains ~bound:1_000_000_000 impl
+      in
+      let write_heavy =
+        run_mix ~domains ~seconds ~op:(fun d _ -> c.increment ~pid:d)
+      in
+      [ { structure = "counter"; impl = name; mix = "read-heavy"; domains;
+          ops_per_sec = read_heavy };
+        { structure = "counter"; impl = name; mix = "inc-heavy"; domains;
+          ops_per_sec = write_heavy } ])
+    [ Harness.Instances.Farray_counter;
+      Harness.Instances.Naive_counter ]
+
+let sweep ?(seconds = 0.3) () =
+  let domains = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  maxreg_rows ~domains ~seconds @ counter_rows ~domains ~seconds
+
+let table rows =
+  Harness.Tables.render
+    ~title:"E7: native throughput, OCaml 5 domains over Atomic (ops/sec)"
+    ~header:[ "structure"; "impl"; "mix"; "domains"; "Mops/sec" ]
+    (List.map
+       (fun r ->
+         [ r.structure; r.impl; r.mix; string_of_int r.domains;
+           Printf.sprintf "%.2f" (r.ops_per_sec /. 1e6) ])
+       rows)
+
+let run ?seconds () = table (sweep ?seconds ())

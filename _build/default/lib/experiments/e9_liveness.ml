@@ -1,0 +1,130 @@
+(* E9 — liveness audit (the other half of Theorem 6).
+
+   Wait-freedom claims per implementation, audited two ways:
+
+   1. solo completion from many random intermediate states (every
+      obstruction-free operation must finish; the residual step bound is
+      reported);
+   2. completion of one WriteMax/increment against an endless interferer —
+      a wait-free operation finishes in its solo bound regardless of
+      interference, the CAS-loop register does not (its step count under
+      interference explodes, matching its Theta(K) behaviour under the
+      Theorem 3 adversary). *)
+
+open Memsim
+
+type row = {
+  structure : string;
+  impl : string;
+  solo_ok : bool;
+  solo_bound : int;
+  interfered_completed : bool;
+  interfered_steps : int;
+}
+
+let maxreg_row impl =
+  let n = 8 in
+  let session = Session.create () in
+  let reg = Harness.Instances.maxreg_sim session ~n ~bound:4096 impl in
+  let make_body pid () = reg.write_max ~pid (16 + (pid * 31 mod 256)) in
+  let solo =
+    Harness.Liveness.solo_completion_bound session ~n ~make_body ()
+  in
+  let interfered =
+    Harness.Liveness.interference_bound ~victim_budget:2_000 session
+      ~victim_body:(fun () -> reg.write_max ~pid:0 4_000)
+      ~interferer_body:
+        (let v = ref 256 in
+         fun () ->
+           incr v;
+           reg.write_max ~pid:1 !v)
+      ()
+  in
+  { structure = "max-register";
+    impl = Harness.Instances.maxreg_name impl;
+    solo_ok = solo.Harness.Liveness.all_completed;
+    solo_bound = solo.Harness.Liveness.max_solo_steps;
+    interfered_completed = interfered.Harness.Liveness.victim_completed;
+    interfered_steps = interfered.Harness.Liveness.victim_steps }
+
+let counter_row impl =
+  let n = 8 in
+  let session = Session.create () in
+  let c = Harness.Instances.counter_sim session ~n ~bound:100_000 impl in
+  let make_body pid () = c.increment ~pid in
+  let solo =
+    Harness.Liveness.solo_completion_bound session ~n ~make_body ()
+  in
+  let interfered =
+    Harness.Liveness.interference_bound ~victim_budget:2_000 session
+      ~victim_body:(fun () -> c.increment ~pid:0)
+      ~interferer_body:(fun () -> c.increment ~pid:1)
+      ()
+  in
+  { structure = "counter";
+    impl = Harness.Instances.counter_name impl;
+    solo_ok = solo.Harness.Liveness.all_completed;
+    solo_bound = solo.Harness.Liveness.max_solo_steps;
+    interfered_completed = interfered.Harness.Liveness.victim_completed;
+    interfered_steps = interfered.Harness.Liveness.victim_steps }
+
+let snapshot_row impl =
+  let n = 8 in
+  let session = Session.create () in
+  let s = Harness.Instances.snapshot_sim session ~n impl in
+  let make_body pid () = s.update ~pid (pid + 1) in
+  let solo =
+    Harness.Liveness.solo_completion_bound session ~n ~make_body ()
+  in
+  (* the victim is a Scan, interfered with by endless updates: the
+     double-collect scan starves here *)
+  let interfered =
+    Harness.Liveness.interference_bound ~victim_budget:2_000 session
+      ~victim_body:(fun () -> try ignore (s.scan ()) with _ -> ())
+      ~interferer_body:
+        (let v = ref 0 in
+         fun () ->
+           incr v;
+           s.update ~pid:1 !v)
+      ()
+  in
+  { structure = "snapshot(scan)";
+    impl = Harness.Instances.snapshot_name impl;
+    solo_ok = solo.Harness.Liveness.all_completed;
+    solo_bound = solo.Harness.Liveness.max_solo_steps;
+    interfered_completed = interfered.Harness.Liveness.victim_completed;
+    interfered_steps = interfered.Harness.Liveness.victim_steps }
+
+let sweep () =
+  List.map maxreg_row
+    [ Harness.Instances.Algorithm_a;
+      Harness.Instances.Aac_maxreg;
+      Harness.Instances.B1_maxreg;
+      Harness.Instances.Cas_maxreg ]
+  @ List.map counter_row
+      [ Harness.Instances.Farray_counter;
+        Harness.Instances.Aac_counter;
+        Harness.Instances.Naive_counter ]
+  @ List.map snapshot_row
+      [ Harness.Instances.Farray_snapshot;
+        Harness.Instances.Afek;
+        Harness.Instances.Double_collect ]
+
+let table rows =
+  Harness.Tables.render
+    ~title:
+      "E9: liveness audit — solo completion (obstruction-freedom + residual \
+       bound) and completion against an endless interferer (wait-freedom; \
+       the CAS-loop register and the double-collect scan fail here)"
+    ~header:
+      [ "structure"; "impl"; "solo completes"; "solo bound";
+        "completes under interference"; "steps under interference" ]
+    (List.map
+       (fun r ->
+         [ r.structure; r.impl; string_of_bool r.solo_ok;
+           string_of_int r.solo_bound;
+           string_of_bool r.interfered_completed;
+           string_of_int r.interfered_steps ])
+       rows)
+
+let run () = table (sweep ())

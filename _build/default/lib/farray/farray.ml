@@ -1,0 +1,52 @@
+(* Jayanti-style f-arrays [14], from read/write/CAS.
+
+   An f-array maintains an aggregate f(A[0..n-1]) of a single-writer array:
+   a complete binary tree whose leaf i holds A[i] and whose internal nodes
+   hold the combination of their children.  [update] writes a leaf and
+   propagates with the double-refresh CAS of {!Treeprim.Propagate};
+   [read] reads the root — a single step, the Theorem-1-optimal point
+   (read O(1), update O(log N)).
+
+   The CAS variant is sound as long as node values never recur (no ABA):
+   guaranteed when leaf values are monotone (sums, maxima) or stamped with
+   per-leaf sequence numbers (snapshot vectors). *)
+
+open Memsim
+
+module Make (M : Smem.Memory_intf.MEMORY) = struct
+  module P = Treeprim.Propagate.Make (M)
+
+  type t = {
+    root : M.t Treeprim.Tree_shape.node;
+    leaves : M.t Treeprim.Tree_shape.node array;
+    combine : Simval.t -> Simval.t -> Simval.t;
+    n : int;
+    refreshes : int;  (* 2 for correctness; 1 only as an ablation *)
+  }
+
+  let create ?(refreshes = 2) ~n ~combine () =
+    if n <= 0 then invalid_arg "Farray.create: n must be > 0";
+    let mk () = M.make Simval.Bot in
+    let root, leaves = Treeprim.Tree_shape.complete ~mk ~nleaves:n () in
+    { root; leaves; combine; n; refreshes }
+
+  let n t = t.n
+
+  (* One step. *)
+  let read t = M.read t.root.Treeprim.Tree_shape.data
+
+  (* One step; leaves are single-writer, so the owner may use this to
+     recover its own last value. *)
+  let read_leaf t i =
+    if i < 0 || i >= t.n then invalid_arg "Farray.read_leaf: bad index";
+    M.read t.leaves.(i).Treeprim.Tree_shape.data
+
+  (* O(log n) steps: write the leaf, double-refresh each ancestor. *)
+  let update t ~leaf v =
+    if leaf < 0 || leaf >= t.n then invalid_arg "Farray.update: bad index";
+    let node = t.leaves.(leaf) in
+    M.write node.Treeprim.Tree_shape.data v;
+    P.propagate ~refreshes:t.refreshes ~combine:t.combine node
+
+  let leaf_depth t i = Treeprim.Tree_shape.depth t.leaves.(i)
+end

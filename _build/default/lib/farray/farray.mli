@@ -1,0 +1,38 @@
+(** Jayanti-style f-arrays (PODC 2002) from read/write/CAS: a complete
+    binary tree maintaining an aggregate of a single-writer array, with
+    O(1) reads of the aggregate at the root and O(log n) updates via
+    double-refresh propagation.
+
+    The CAS propagation is ABA-free as long as node values never recur:
+    guaranteed for monotone aggregates (sums, maxima) or sequence-stamped
+    leaf values. *)
+
+module Make (M : Smem.Memory_intf.MEMORY) : sig
+  type t
+
+  val create :
+    ?refreshes:int ->
+    n:int ->
+    combine:(Memsim.Simval.t -> Memsim.Simval.t -> Memsim.Simval.t) ->
+    unit ->
+    t
+  (** An f-array over [n] single-writer leaves, all initially
+      {!Memsim.Simval.Bot}; internal nodes hold
+      [combine left right] (interpret [Bot] as "no contribution").
+      [refreshes] (default 2) is the per-node refresh count during
+      propagation; 1 is an ablation that loses updates (experiment A2). *)
+
+  val n : t -> int
+
+  val read : t -> Memsim.Simval.t
+  (** The root aggregate: one shared-memory event. *)
+
+  val read_leaf : t -> int -> Memsim.Simval.t
+  (** One event; leaves are single-writer, so the owner can recover its
+      last value. *)
+
+  val update : t -> leaf:int -> Memsim.Simval.t -> unit
+  (** Write leaf [i] and propagate: O(log n) events. *)
+
+  val leaf_depth : t -> int -> int
+end

@@ -1,0 +1,1 @@
+lib/harness/annotate.ml: Counters Maxreg Memsim Session Simval Snapshots

@@ -1,0 +1,1 @@
+lib/harness/annotate.mli: Counters Maxreg Memsim Snapshots

@@ -1,0 +1,1 @@
+lib/harness/instances.ml: Counters Maxreg Smem Snapshots

@@ -1,0 +1,1 @@
+lib/harness/instances.mli: Counters Maxreg Memsim Smem Snapshots

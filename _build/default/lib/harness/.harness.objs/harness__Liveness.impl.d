@@ -1,0 +1,1 @@
+lib/harness/liveness.ml: Memsim Random Scheduler Session Store

@@ -1,0 +1,1 @@
+lib/harness/measure.ml: List Memsim Session

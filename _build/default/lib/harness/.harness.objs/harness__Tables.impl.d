@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Buffer List String

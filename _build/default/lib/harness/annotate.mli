@@ -1,0 +1,20 @@
+(** Wrappers recording Invoke/Return annotations around every high-level
+    operation, from which {!Linearize.History} recovers concurrent
+    histories.  Mutators record result {!Memsim.Simval.Bot}, matching
+    {!Linearize.Spec}'s convention.
+
+    Note: a process's invocation is recorded when its body first runs,
+    which the scheduler triggers at the first inspection of the process —
+    peeking widens operation intervals (conservative for linearizability
+    checking). *)
+
+val max_register :
+  Memsim.Session.t -> Maxreg.Max_register.instance ->
+  Maxreg.Max_register.instance
+
+val counter :
+  Memsim.Session.t -> Counters.Counter.instance -> Counters.Counter.instance
+
+val snapshot :
+  Memsim.Session.t -> Snapshots.Snapshot.instance ->
+  Snapshots.Snapshot.instance

@@ -1,0 +1,127 @@
+(* The implementation registry: build any implementation, bound to a
+   simulator session or to native atomics, as a closed instance.  All
+   experiment drivers (CLI, benches, adversaries, tests) go through this
+   module so every surface exercises the same code. *)
+
+type maxreg_impl =
+  | Algorithm_a
+  | Algorithm_a_literal
+  | Aac_maxreg
+  | B1_maxreg
+  | Cas_maxreg
+type counter_impl = Aac_counter | Farray_counter | Naive_counter | Snapshot_counter of snapshot_impl
+and snapshot_impl = Double_collect | Afek | Farray_snapshot
+
+let maxreg_name = function
+  | Algorithm_a -> "algorithm-a"
+  | Algorithm_a_literal -> "algorithm-a-literal"
+  | Aac_maxreg -> "aac"
+  | B1_maxreg -> "aac-unbounded-b1"
+  | Cas_maxreg -> "cas-loop"
+
+let rec counter_name = function
+  | Aac_counter -> "aac"
+  | Farray_counter -> "farray"
+  | Naive_counter -> "naive"
+  | Snapshot_counter s -> "snapshot-" ^ snapshot_name s
+
+and snapshot_name = function
+  | Double_collect -> "double-collect"
+  | Afek -> "afek"
+  | Farray_snapshot -> "farray"
+
+let all_maxregs = [ Algorithm_a; Aac_maxreg; B1_maxreg; Cas_maxreg ]
+let all_counters =
+  [ Aac_counter; Farray_counter; Naive_counter;
+    Snapshot_counter Farray_snapshot ]
+let all_snapshots = [ Double_collect; Afek; Farray_snapshot ]
+
+(* {1 Construction over an arbitrary MEMORY} *)
+
+let maxreg_over (module M : Smem.Memory_intf.MEMORY) ~n ~bound impl :
+    Maxreg.Max_register.instance =
+  match impl with
+  | Algorithm_a ->
+    let module A = Maxreg.Algorithm_a.Make (M) in
+    Maxreg.Max_register.instantiate (module A) (A.create ~n ())
+  | Algorithm_a_literal ->
+    let module A = Maxreg.Algorithm_a.Make (M) in
+    Maxreg.Max_register.instantiate
+      (module A)
+      (A.create ~literal_early_return:true ~n ())
+  | Aac_maxreg ->
+    let module A = Maxreg.Aac_maxreg.Make (M) in
+    Maxreg.Max_register.instantiate (module A) (A.create ~bound)
+  | B1_maxreg ->
+    let module A = Maxreg.B1_maxreg.Make (M) in
+    let reg = A.create () in
+    { read_max = (fun () -> A.read_max reg);
+      write_max = (fun ~pid v -> A.write_max reg ~pid v) }
+  | Cas_maxreg ->
+    let module A = Maxreg.Cas_maxreg.Make (M) in
+    Maxreg.Max_register.instantiate (module A) (A.create ())
+
+let rec counter_over (module M : Smem.Memory_intf.MEMORY) ~n ~bound impl :
+    Counters.Counter.instance =
+  match impl with
+  | Aac_counter ->
+    let module C = Counters.Aac_counter.Make (M) in
+    Counters.Counter.instantiate (module C) (C.create ~n ~bound)
+  | Farray_counter ->
+    let module C = Counters.Farray_counter.Make (M) in
+    Counters.Counter.instantiate (module C) (C.create ~n)
+  | Naive_counter ->
+    let module C = Counters.Naive_counter.Make (M) in
+    Counters.Counter.instantiate (module C) (C.create ~n)
+  | Snapshot_counter s ->
+    counter_of_snapshot_over (module M : Smem.Memory_intf.MEMORY) ~n s
+
+and snapshot_over (module M : Smem.Memory_intf.MEMORY) ~n impl :
+    Snapshots.Snapshot.instance =
+  match impl with
+  | Double_collect ->
+    let module S = Snapshots.Double_collect.Make (M) in
+    Snapshots.Snapshot.instantiate (module S) (S.create ~n ())
+  | Afek ->
+    let module S = Snapshots.Afek_snapshot.Make (M) in
+    Snapshots.Snapshot.instantiate (module S) (S.create ~n)
+  | Farray_snapshot ->
+    let module S = Snapshots.Farray_snapshot.Make (M) in
+    Snapshots.Snapshot.instantiate (module S) (S.create ~n)
+
+and counter_of_snapshot_over (module M : Smem.Memory_intf.MEMORY) ~n impl :
+    Counters.Counter.instance =
+  let make (type st) (module S : Snapshots.Snapshot.S with type t = st)
+      (s : st) =
+    let module C = Snapshots.Counter_of_snapshot.Make (S) in
+    let c = C.create ~n s in
+    { Counters.Counter.increment = (fun ~pid -> C.increment c ~pid);
+      read = (fun () -> C.read c) }
+  in
+  match impl with
+  | Double_collect ->
+    let module S = Snapshots.Double_collect.Make (M) in
+    make (module S) (S.create ~n ())
+  | Afek ->
+    let module S = Snapshots.Afek_snapshot.Make (M) in
+    make (module S) (S.create ~n)
+  | Farray_snapshot ->
+    let module S = Snapshots.Farray_snapshot.Make (M) in
+    make (module S) (S.create ~n)
+
+(* {1 Convenience constructors} *)
+
+let maxreg_sim session ~n ~bound impl =
+  maxreg_over (Smem.Sim_memory.bind session) ~n ~bound impl
+
+let counter_sim session ~n ~bound impl =
+  counter_over (Smem.Sim_memory.bind session) ~n ~bound impl
+
+let snapshot_sim session ~n impl =
+  snapshot_over (Smem.Sim_memory.bind session) ~n impl
+
+let native : (module Smem.Memory_intf.MEMORY) = (module Smem.Atomic_memory)
+
+let maxreg_native ~n ~bound impl = maxreg_over native ~n ~bound impl
+let counter_native ~n ~bound impl = counter_over native ~n ~bound impl
+let snapshot_native ~n impl = snapshot_over native ~n impl

@@ -1,0 +1,70 @@
+(** The implementation registry: build any implementation, bound to a
+    simulator session or to native atomics, as a closed instance.  All
+    experiment drivers (CLI, benches, adversaries, tests) construct
+    implementations through this module. *)
+
+type maxreg_impl =
+  | Algorithm_a           (** the paper's contribution (repaired line 16) *)
+  | Algorithm_a_literal   (** verbatim line 16 — not linearizable! *)
+  | Aac_maxreg            (** Aspnes–Attiya–Censor bounded, reads/writes only *)
+  | B1_maxreg             (** AAC unbounded over a lazy B1 switch tree *)
+  | Cas_maxreg            (** CAS retry loop, not wait-free *)
+
+type counter_impl =
+  | Aac_counter
+  | Farray_counter
+  | Naive_counter
+  | Snapshot_counter of snapshot_impl  (** via Corollary 1's reduction *)
+
+and snapshot_impl = Double_collect | Afek | Farray_snapshot
+
+val maxreg_name : maxreg_impl -> string
+val counter_name : counter_impl -> string
+val snapshot_name : snapshot_impl -> string
+
+val all_maxregs : maxreg_impl list
+val all_counters : counter_impl list
+val all_snapshots : snapshot_impl list
+
+(** {1 Construction over an arbitrary MEMORY} *)
+
+val maxreg_over :
+  (module Smem.Memory_intf.MEMORY) ->
+  n:int -> bound:int -> maxreg_impl -> Maxreg.Max_register.instance
+
+val counter_over :
+  (module Smem.Memory_intf.MEMORY) ->
+  n:int -> bound:int -> counter_impl -> Counters.Counter.instance
+
+val snapshot_over :
+  (module Smem.Memory_intf.MEMORY) ->
+  n:int -> snapshot_impl -> Snapshots.Snapshot.instance
+
+(** {1 Simulator-bound constructors}
+
+    Objects are allocated into the session's store (the initial
+    configuration); operations issued during a scheduler run become
+    adversary-controllable events. *)
+
+val maxreg_sim :
+  Memsim.Session.t -> n:int -> bound:int -> maxreg_impl ->
+  Maxreg.Max_register.instance
+
+val counter_sim :
+  Memsim.Session.t -> n:int -> bound:int -> counter_impl ->
+  Counters.Counter.instance
+
+val snapshot_sim :
+  Memsim.Session.t -> n:int -> snapshot_impl -> Snapshots.Snapshot.instance
+
+(** {1 Native (Atomic) constructors, for Domain-parallel runs} *)
+
+val native : (module Smem.Memory_intf.MEMORY)
+
+val maxreg_native :
+  n:int -> bound:int -> maxreg_impl -> Maxreg.Max_register.instance
+
+val counter_native :
+  n:int -> bound:int -> counter_impl -> Counters.Counter.instance
+
+val snapshot_native : n:int -> snapshot_impl -> Snapshots.Snapshot.instance

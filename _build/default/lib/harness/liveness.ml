@@ -1,0 +1,92 @@
+(* Liveness audits.
+
+   Wait-freedom (the paper's guarantee for Algorithm A, Theorem 6) says
+   every process finishes its operation in a bounded number of its own
+   steps regardless of scheduling.  Obstruction-freedom says it finishes if
+   eventually run alone.  Neither can be proven by testing, but both can be
+   audited sharply on the simulator:
+
+   - [solo_completion_bound]: drive a group of processes into many random
+     intermediate states, then run each process alone and record the
+     maximum number of further steps it needed.  A wait-free operation
+     shows a bound independent of the seed; a lock-free-only operation
+     (e.g. the CAS-loop register) still completes solo (obstruction-free)
+     but its TOTAL steps vary with the interference it suffered.
+
+   - [interference_bound]: run one victim process against a perpetual
+     interferer with a fixed step budget; a wait-free victim finishes
+     within its solo bound regardless, a non-wait-free one exceeds any
+     fixed budget as the interference grows. *)
+
+open Memsim
+
+type solo_report = {
+  scenarios : int;          (* random intermediate states examined *)
+  all_completed : bool;     (* every process finished when run alone *)
+  max_solo_steps : int;     (* steps needed to finish from the worst state *)
+}
+
+(* [make_bodies session] returns the bodies of the process group; fresh
+   bodies are requested per scenario so operations restart cleanly. *)
+let solo_completion_bound ?(scenarios = 50) ?(max_prefix = 40)
+    ?(step_budget = 100_000) session ~n ~make_body () =
+  let all_completed = ref true in
+  let worst = ref 0 in
+  for seed = 1 to scenarios do
+    Store.reset (Session.store session);
+    let sched = Scheduler.create session in
+    for pid = 0 to n - 1 do
+      ignore (Scheduler.spawn sched (make_body pid))
+    done;
+    let rng = Random.State.make [| seed |] in
+    Scheduler.run_random ~seed:(Random.State.bits rng)
+      ~max_events:(Random.State.int rng max_prefix)
+      sched;
+    for pid = 0 to n - 1 do
+      let before = Scheduler.steps_of sched pid in
+      Scheduler.run_solo ~max_events:step_budget sched pid;
+      if not (Scheduler.is_finished sched pid) then all_completed := false
+      else worst := max !worst (Scheduler.steps_of sched pid - before)
+    done;
+    ignore (Scheduler.finish sched)
+  done;
+  { scenarios; all_completed = !all_completed; max_solo_steps = !worst }
+
+type interference_report = {
+  victim_completed : bool;  (* within the budget, despite interference *)
+  victim_steps : int;
+  interference_steps : int;
+}
+
+(* Alternate one victim step with [per_round] interferer steps; the
+   interferer restarts its operation forever. *)
+let interference_bound ?(per_round = 8) ?(victim_budget = 10_000) session
+    ~victim_body ~interferer_body () =
+  Store.reset (Session.store session);
+  let sched = Scheduler.create session in
+  let victim = Scheduler.spawn sched victim_body in
+  let interferer =
+    Scheduler.spawn sched (fun () ->
+        (* an endless stream of operations *)
+        while true do
+          interferer_body ()
+        done)
+  in
+  let interference = ref 0 in
+  let budget = ref victim_budget in
+  while Scheduler.is_active sched victim && !budget > 0 do
+    ignore (Scheduler.step sched victim);
+    decr budget;
+    for _ = 1 to per_round do
+      if Scheduler.is_active sched interferer then begin
+        ignore (Scheduler.step sched interferer);
+        incr interference
+      end
+    done
+  done;
+  let victim_steps = Scheduler.steps_of sched victim in
+  let completed = Scheduler.is_finished sched victim in
+  ignore (Scheduler.finish sched);
+  { victim_completed = completed;
+    victim_steps;
+    interference_steps = !interference }

@@ -1,0 +1,29 @@
+(* Step-complexity measurement.
+
+   Step counts are taken on the simulator in direct mode: outside any
+   scheduler run, every register operation is applied immediately and
+   counted by the session, so [steps session f] is exactly the number of
+   shared-memory events [f] issues — the paper's complexity measure,
+   independent of machine speed. *)
+
+open Memsim
+
+let steps session f =
+  Session.reset_steps session;
+  f ();
+  Session.direct_steps session
+
+(* Worst case of [f i] over [0 <= i < trials]. *)
+let max_steps session ~trials f =
+  let worst = ref 0 in
+  for i = 0 to trials - 1 do
+    worst := max !worst (steps session (fun () -> f i))
+  done;
+  !worst
+
+let log2 x = log (float_of_int x) /. log 2.
+
+(* Geometric sweep [start, 2*start, ...] up to [stop] inclusive. *)
+let powers ~start ~stop =
+  let rec go v acc = if v > stop then List.rev acc else go (2 * v) (v :: acc) in
+  go start []

@@ -1,0 +1,15 @@
+(** Step-complexity measurement on the simulator's direct mode: outside a
+    scheduler run every register operation is applied immediately and
+    counted, so measurements are exact event counts — the paper's cost
+    model, independent of machine speed. *)
+
+val steps : Memsim.Session.t -> (unit -> unit) -> int
+(** Number of shared-memory events [f] issues. *)
+
+val max_steps : Memsim.Session.t -> trials:int -> (int -> unit) -> int
+(** Worst case of [f i] over [0 <= i < trials]. *)
+
+val log2 : int -> float
+
+val powers : start:int -> stop:int -> int list
+(** Geometric sweep [start; 2*start; ...] up to [stop]. *)

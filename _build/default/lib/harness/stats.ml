@@ -1,0 +1,28 @@
+(* Small descriptive statistics over measurement samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let summarize = function
+  | [] -> { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0. }
+  | samples ->
+    let count = List.length samples in
+    let fcount = float_of_int count in
+    let sum = List.fold_left ( +. ) 0. samples in
+    let mean = sum /. fcount in
+    let sq_diff = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. samples in
+    let stddev = sqrt (sq_diff /. fcount) in
+    let min = List.fold_left Float.min Float.infinity samples in
+    let max = List.fold_left Float.max Float.neg_infinity samples in
+    { count; mean; stddev; min; max }
+
+let summarize_ints samples = summarize (List.map float_of_int samples)
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d mean=%.2f sd=%.2f min=%.0f max=%.0f" s.count s.mean s.stddev
+    s.min s.max

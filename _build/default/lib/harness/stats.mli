@@ -1,0 +1,13 @@
+(** Small descriptive statistics over measurement samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+val summarize_ints : int list -> summary
+val pp_summary : summary Fmt.t

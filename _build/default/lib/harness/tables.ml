@@ -1,0 +1,37 @@
+(* Plain-text table rendering for experiment reports (EXPERIMENTS.md rows
+   are generated from these). *)
+
+let render ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let cell = match List.nth_opt row c with Some s -> s | None -> "" in
+          pad cell w)
+        widths
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("## " ^ title ^ "\n\n");
+  Buffer.add_string buf (render_row header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.contents buf
+
+let print ~title ~header rows = print_string (render ~title ~header rows)

@@ -1,0 +1,5 @@
+(** Plain-text (markdown-compatible) table rendering for experiment
+    reports; EXPERIMENTS.md is generated from these. *)
+
+val render : title:string -> header:string list -> string list list -> string
+val print : title:string -> header:string list -> string list list -> unit

@@ -1,0 +1,1 @@
+lib/infoflow/awareness.ml: Array Event Fmt Hashtbl Int List Memsim Set Trace Visibility

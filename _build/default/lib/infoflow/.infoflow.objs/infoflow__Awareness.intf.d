@@ -1,0 +1,1 @@
+lib/infoflow/awareness.mli: Fmt Memsim Set

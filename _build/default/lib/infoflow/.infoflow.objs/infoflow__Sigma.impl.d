@@ -1,0 +1,1 @@
+lib/infoflow/sigma.ml: Event List Memsim Scheduler Session Store

@@ -1,0 +1,1 @@
+lib/infoflow/sigma.mli: Memsim

@@ -1,0 +1,1 @@
+lib/infoflow/visibility.ml: Array Event Hashtbl Memsim

@@ -1,0 +1,1 @@
+lib/infoflow/visibility.mli: Memsim

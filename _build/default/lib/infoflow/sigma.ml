@@ -1,0 +1,63 @@
+(* The sigma-schedule of Lemma 1.
+
+   Given the set S of enabled events of a group of active processes, apply
+   them in the order: (1) all events that would not change any value — reads,
+   trivial writes, trivial CAS; (2) all remaining writes; (3) all remaining
+   CAS.  Lemma 1 shows this order lets the familiarity/awareness bound M
+   grow by at most a factor of 3 per round; the Theorem 1 adversary is a
+   loop of such rounds. *)
+
+open Memsim
+
+type classified = {
+  quiet : int list;   (* reads + trivial writes + trivial CAS *)
+  writes : int list;  (* non-trivial writes *)
+  cas : int list;     (* non-trivial CAS *)
+}
+
+(* Classify against the current store contents.  Triviality is judged once,
+   at round start, exactly as in the lemma's construction: events classified
+   quiet change no value, so their classification cannot be invalidated by
+   scheduling the other quiet events first. *)
+let classify sched pids =
+  let store = Session.store (Scheduler.session sched) in
+  let quiet = ref [] and writes = ref [] and cas = ref [] in
+  List.iter
+    (fun pid ->
+      match Scheduler.enabled sched pid with
+      | None -> ()
+      | Some (obj, prim) ->
+        if not (Store.would_change store obj prim) then quiet := pid :: !quiet
+        else (
+          match prim with
+          | Event.Write _ -> writes := pid :: !writes
+          | Event.Cas _ -> cas := pid :: !cas
+          | Event.Read -> assert false (* reads never change values *)))
+    pids;
+  { quiet = List.rev !quiet; writes = List.rev !writes; cas = List.rev !cas }
+
+(* Apply one sigma round over the enabled events of [pids]; returns the
+   number of events applied. *)
+let round sched pids =
+  let { quiet; writes; cas } = classify sched pids in
+  let apply pid = ignore (Scheduler.step sched pid) in
+  List.iter apply quiet;
+  List.iter apply writes;
+  List.iter apply cas;
+  List.length quiet + List.length writes + List.length cas
+
+(* Repeat sigma rounds over the processes of [pids] that are still active,
+   until all complete or [max_rounds] is reached.  Returns the number of
+   rounds executed. *)
+let run ?(max_rounds = max_int) sched pids =
+  let rec loop rounds =
+    if rounds >= max_rounds then rounds
+    else
+      let live = List.filter (Scheduler.is_active sched) pids in
+      if live = [] then rounds
+      else begin
+        ignore (round sched live);
+        loop (rounds + 1)
+      end
+  in
+  loop 0

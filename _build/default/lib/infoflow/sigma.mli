@@ -1,0 +1,21 @@
+(** The σ(E,S) schedule of Lemma 1: apply the enabled events of a set of
+    processes in the order (reads + trivial events) → writes → CAS, which
+    bounds the growth of awareness/familiarity sets to 3× per round. *)
+
+type classified = {
+  quiet : int list;   (** reads, trivial writes, trivial CAS *)
+  writes : int list;  (** non-trivial writes *)
+  cas : int list;     (** non-trivial CAS *)
+}
+
+val classify : Memsim.Scheduler.t -> int list -> classified
+(** Classify the enabled events of the given processes against the current
+    store contents. *)
+
+val round : Memsim.Scheduler.t -> int list -> int
+(** Apply one σ round over the enabled events of the given processes;
+    returns the number of events applied. *)
+
+val run : ?max_rounds:int -> Memsim.Scheduler.t -> int list -> int
+(** Run σ rounds until all the given processes complete (or the round limit
+    is hit); returns the number of rounds. *)

@@ -1,0 +1,69 @@
+(* Definition 1: an event [e] by process [p] on object [o] is invisible in
+   execution [E] iff
+
+   - [e] does not change the value of [o] ("trivial"); or
+   - E = E1 e E' e' E'' where [e'] is a *write* to [o], no event of [E'] is
+     applied to [o], and [p] takes no step in [E'] ("masked": [e'] is the
+     first access to [o] after [e]).
+
+   Reproduction finding — the literal definition is too strong.  When many
+   processes write the *same* value to an object (e.g. the switch bits of
+   the Aspnes-Attiya-Censor max register, all set to 1), the first
+   (value-changing) write is masked by the second write, and every later
+   write is trivial: no write to the switch is ever visible, familiarity
+   stays empty, and a reader that decodes the object's (changed!) value is
+   deemed aware of nobody.  Executions of the AAC counter then satisfy
+   "CounterRead returns N-1 with |AW(reader)| = 1", contradicting Lemma 3
+   as stated (see test_infoflow.ml and EXPERIMENTS.md).
+
+   The repaired rule used by default: a *write* (or successful CAS) that
+   leaves the value unchanged still re-asserts it and remains visible
+   unless masked by clause 2.  Reads and failed CAS stay invisible.  Lemma
+   1's proof is unaffected: within a sigma-round all but the last write to
+   an object are still masked, so familiarity still gains at most one
+   writer's awareness per object per round.  [~literal:true] computes the
+   paper's original rule. *)
+
+open Memsim
+
+let compute ?(literal = false) (events : Event.t array) : bool array =
+  let n = Array.length events in
+  (* next_on_obj.(i): index of the first later event on the same object, or
+     n if none.  next_of_pid.(i): likewise for the same process. *)
+  let next_on_obj = Array.make n n in
+  let next_of_pid = Array.make n n in
+  let last_obj : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let last_pid : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  for i = n - 1 downto 0 do
+    let e = events.(i) in
+    (match Hashtbl.find_opt last_obj e.Event.obj with
+     | Some j -> next_on_obj.(i) <- j
+     | None -> ());
+    (match Hashtbl.find_opt last_pid e.Event.pid with
+     | Some j -> next_of_pid.(i) <- j
+     | None -> ());
+    Hashtbl.replace last_obj e.Event.obj i;
+    Hashtbl.replace last_pid e.Event.pid i
+  done;
+  (* [e] is masked iff the next access to its object is a write issued
+     before [e]'s process takes another step. *)
+  let masked i =
+    let j = next_on_obj.(i) in
+    if j >= n then false
+    else if not (Event.is_write events.(j)) then false
+    else next_of_pid.(i) >= j
+  in
+  let successful_cas (e : Event.t) =
+    match e.Event.prim, e.Event.response with
+    | Event.Cas _, Event.RBool true -> true
+    | (Event.Cas _ | Event.Read | Event.Write _), _ -> false
+  in
+  Array.mapi
+    (fun i e ->
+      if Event.changed_value e then not (masked i)
+      else if literal then false
+      else
+        (* repaired rule: value-preserving writes / successful CAS still
+           re-assert the value *)
+        (Event.is_write e || successful_cas e) && not (masked i))
+    events

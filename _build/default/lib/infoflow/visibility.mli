@@ -1,0 +1,15 @@
+(** Visibility of events (Definition 1 of the paper).
+
+    [compute] uses a repaired rule by default: writes (and successful CAS)
+    that leave the value unchanged remain visible unless masked by a
+    subsequent write.  This fixes an information leak in the literal
+    definition that lets same-value writes (e.g. AAC switch bits) carry
+    information without ever being "visible", contradicting Lemma 3 (see
+    the implementation comment and EXPERIMENTS.md).  [~literal:true]
+    computes the paper's rule verbatim. *)
+
+val compute : ?literal:bool -> Memsim.Event.t array -> bool array
+(** Per event: did it leave an observable trace in the execution (it
+    changed — or, by default, re-asserted — its object's value, and was not
+    silently masked by the next write before its issuer took another
+    step)? *)

@@ -1,0 +1,1 @@
+lib/linearize/checker.ml: Array Hashtbl History Memsim Printf Simval Spec

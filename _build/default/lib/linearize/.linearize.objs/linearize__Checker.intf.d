@@ -1,0 +1,1 @@
+lib/linearize/checker.mli: History Memsim Spec

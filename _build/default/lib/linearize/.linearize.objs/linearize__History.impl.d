@@ -1,0 +1,1 @@
+lib/linearize/history.ml: Array Fmt Hashtbl Int Memsim Printf Simval Trace

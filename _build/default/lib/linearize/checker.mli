@@ -1,0 +1,21 @@
+(** Wing–Gong linearizability checker with memoized state search.
+
+    Completed operations must all be linearized with matching results;
+    pending operations may take effect (with any result) or be dropped.
+    Histories are limited to 62 operations (the chosen-set is a bitmask);
+    keep test schedules small. *)
+
+val find_linearization :
+  (module Spec.SPEC with type state = 's) ->
+  n:int ->
+  History.op array ->
+  int list option
+(** A witness linearization order (indices into the history), or [None]
+    if the history is not linearizable. *)
+
+val check :
+  (module Spec.SPEC with type state = 's) -> n:int -> History.op array -> bool
+
+val check_trace :
+  (module Spec.SPEC with type state = 's) -> n:int -> Memsim.Trace.t -> bool
+(** Extract the history from a trace's annotations and check it. *)

@@ -1,0 +1,58 @@
+(* Histories of high-level operations, recovered from the Invoke/Return
+   annotations of a trace.  Operations of one process are sequential and
+   non-nested (annotate only top-level operations). *)
+
+open Memsim
+
+type op = {
+  pid : int;
+  name : string;
+  arg : Simval.t;
+  result : Simval.t option;  (* None: the operation is pending *)
+  invoke : int;              (* entry index of the invocation *)
+  return : int option;       (* entry index of the response *)
+}
+
+let of_trace trace =
+  let open_ops : (int, string * Simval.t * int) Hashtbl.t = Hashtbl.create 16 in
+  let ops = ref [] in
+  Array.iteri
+    (fun idx entry ->
+      match entry with
+      | Trace.Mem _ -> ()
+      | Trace.Invoke { pid; op; arg } ->
+        if Hashtbl.mem open_ops pid then
+          invalid_arg
+            (Printf.sprintf "History.of_trace: nested operation by p%d" pid);
+        Hashtbl.replace open_ops pid (op, arg, idx)
+      | Trace.Return { pid; op; result } -> (
+        match Hashtbl.find_opt open_ops pid with
+        | Some (name, arg, invoke) when name = op ->
+          Hashtbl.remove open_ops pid;
+          ops :=
+            { pid; name; arg; result = Some result; invoke; return = Some idx }
+            :: !ops
+        | Some (name, _, _) ->
+          invalid_arg
+            (Printf.sprintf
+               "History.of_trace: p%d returns from %s while %s is open" pid op
+               name)
+        | None ->
+          invalid_arg
+            (Printf.sprintf "History.of_trace: p%d returns without invoke" pid)))
+    (Trace.entries trace);
+  (* Operations that never returned are pending. *)
+  Hashtbl.iter
+    (fun pid (name, arg, invoke) ->
+      ops := { pid; name; arg; result = None; invoke; return = None } :: !ops)
+    open_ops;
+  let arr = Array.of_list !ops in
+  Array.sort (fun a b -> Int.compare a.invoke b.invoke) arr;
+  arr
+
+let is_pending op = op.result = None
+
+let pp_op ppf op =
+  Fmt.pf ppf "p%d %s(%a)%a" op.pid op.name Simval.pp op.arg
+    (Fmt.option (fun ppf r -> Fmt.pf ppf " = %a" Simval.pp r))
+    op.result

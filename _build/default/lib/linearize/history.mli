@@ -1,0 +1,20 @@
+(** Histories of high-level operations, recovered from the Invoke/Return
+    annotations of a trace (see {!Harness.Annotate}). *)
+
+type op = {
+  pid : int;
+  name : string;
+  arg : Memsim.Simval.t;
+  result : Memsim.Simval.t option;  (** [None]: the operation is pending *)
+  invoke : int;                     (** entry index of the invocation *)
+  return : int option;              (** entry index of the response *)
+}
+
+val of_trace : Memsim.Trace.t -> op array
+(** Extract the history, sorted by invocation.  Operations of one process
+    must be sequential and non-nested (annotate only top-level
+    operations); raises [Invalid_argument] otherwise. *)
+
+val is_pending : op -> bool
+
+val pp_op : op Fmt.t

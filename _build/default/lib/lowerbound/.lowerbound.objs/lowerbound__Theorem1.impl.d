@@ -1,0 +1,1 @@
+lib/lowerbound/theorem1.ml: Array Counters Fmt Fun Infoflow List Logs Memsim Scheduler Session Trace

@@ -1,0 +1,1 @@
+lib/lowerbound/theorem1.mli: Counters Fmt Memsim

@@ -1,0 +1,1 @@
+lib/lowerbound/theorem3.ml: Array Event Float Fmt Fun Hashtbl Infoflow Int List Logs Maxreg Memsim Option Printf Replay Scheduler Session Store Trace

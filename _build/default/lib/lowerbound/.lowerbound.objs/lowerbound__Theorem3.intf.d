@@ -1,0 +1,1 @@
+lib/lowerbound/theorem3.mli: Fmt Maxreg Memsim

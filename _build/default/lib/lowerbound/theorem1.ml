@@ -1,0 +1,121 @@
+(* The Theorem 1 adversary.
+
+   Construction (Section 3): let processes p_0..p_{N-2} each perform one
+   CounterIncrement, scheduled in sigma-rounds (Lemma 1), so that the
+   maximum awareness/familiarity cardinality M(E) grows by at most 3x per
+   round.  A CounterRead by the last process must end up aware of all N-1
+   incrementers (Lemma 3), and it can reach at most O(f(N)) objects, so
+   completion cannot happen in fewer than ~ log3(N / f(N)) rounds — each
+   round costs every unfinished incrementer one step, which is the
+   Omega(log (N/f(N))) increment lower bound.
+
+   Running the construction against a real implementation measures:
+   - rounds until all increments complete (>= the predicted bound);
+   - M(E) after every round (Lemma 1: growth factor <= 3);
+   - the reader's awareness after reading (Lemma 3: = N if the read is
+     correct). *)
+
+open Memsim
+
+type result = {
+  impl : string;
+  n : int;
+  rounds : int;
+  total_events : int;
+  max_inc_steps : int;         (* steps of the slowest incrementer *)
+  m_per_round : int list;      (* M(E) after each sigma-round *)
+  lemma1_ok : bool;            (* M grew at most 3x per round *)
+  reader_steps : int;
+  reader_result : int;
+  reader_awareness : int;      (* |AW(reader)| after its CounterRead *)
+  lemma3_ok : bool;            (* reader aware of every process *)
+  predicted_rounds : float;    (* log3 (N / f(N)) *)
+}
+
+let src = Logs.Src.create "lowerbound.theorem1" ~doc:"Theorem 1 adversary"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let log3 x = log x /. log 3.
+
+let run ~impl ~make_counter ~n ~f_n =
+  if n < 2 then invalid_arg "Theorem1.run: n must be >= 2";
+  let session = Session.create () in
+  let counter : Counters.Counter.instance = make_counter session ~n in
+  let sched = Scheduler.create session in
+  let incrementers = List.init (n - 1) Fun.id in
+  List.iter
+    (fun pid ->
+      let spawned = Scheduler.spawn sched (fun () -> counter.increment ~pid) in
+      assert (spawned = pid))
+    incrementers;
+  (* Sigma rounds until every incrementer completes. *)
+  let boundaries = ref [] in
+  let rounds = ref 0 in
+  let rec loop () =
+    let live = List.filter (Scheduler.is_active sched) incrementers in
+    if live <> [] then begin
+      let applied = Infoflow.Sigma.round sched live in
+      incr rounds;
+      boundaries := Scheduler.event_count sched :: !boundaries;
+      Log.debug (fun m ->
+          m "%s N=%d round %d: %d live incrementers, %d events applied" impl n
+            !rounds (List.length live) applied);
+      loop ()
+    end
+  in
+  loop ();
+  let max_inc_steps =
+    List.fold_left (fun m pid -> max m (Scheduler.steps_of sched pid)) 0
+      incrementers
+  in
+  (* The reader runs solo after the increments (the extension E1). *)
+  let read_result = ref (-1) in
+  let reader = Scheduler.spawn sched (fun () -> read_result := counter.read ()) in
+  let events_before_read = Scheduler.event_count sched in
+  Scheduler.run_solo sched reader;
+  let reader_steps = Scheduler.event_count sched - events_before_read in
+  let trace = Scheduler.finish sched in
+  (* Awareness analysis over the complete execution.  Lemma 1's 3x bound
+     is a statement about the paper's literal Definition 1 (under the
+     repaired visibility rule value-preserving events stay visible inside
+     sigma_1 and the constant degrades to 4; see Infoflow.Visibility), so
+     it is checked under the literal rule.  Lemma 3 requires the repaired
+     rule (Finding 2), so the reader's awareness uses the default. *)
+  let literal_analysis = Infoflow.Awareness.of_trace ~literal:true trace in
+  let m_per_round =
+    List.rev_map
+      (fun k -> Infoflow.Awareness.m_after literal_analysis k)
+      !boundaries
+  in
+  let lemma1_ok =
+    let rec check prev = function
+      | [] -> true
+      | m :: rest -> m <= 3 * prev && check m rest
+    in
+    check 1 m_per_round
+  in
+  let analysis = Infoflow.Awareness.of_trace trace in
+  let reader_awareness =
+    Infoflow.Awareness.Int_set.cardinal
+      (Infoflow.Awareness.aw_of analysis reader)
+  in
+  { impl;
+    n;
+    rounds = !rounds;
+    total_events = Array.length (Trace.events trace);
+    max_inc_steps;
+    m_per_round;
+    lemma1_ok;
+    reader_steps;
+    reader_result = !read_result;
+    reader_awareness;
+    lemma3_ok = reader_awareness = n;
+    predicted_rounds = log3 (float_of_int n /. float_of_int (max 1 f_n)) }
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "@[<v>%s N=%d: rounds=%d (predicted >= %.2f), slowest increment=%d \
+     steps,@ read=%d in %d steps, |AW(reader)|=%d, lemma1=%b lemma3=%b@]"
+    r.impl r.n r.rounds r.predicted_rounds r.max_inc_steps r.reader_result
+    r.reader_steps r.reader_awareness r.lemma1_ok r.lemma3_ok

@@ -1,0 +1,33 @@
+(** The executable Theorem 1 adversary: drive N-1 CounterIncrement
+    operations with sigma-rounds (Lemma 1) so information spreads at most
+    3x per round, then let a reader run; measure the rounds needed, the
+    familiarity growth (Lemma 1's bound), and the reader's awareness
+    (Lemma 3).  Rounds lower-bound the slowest increment's step count,
+    regenerating the Omega(log (N / f(N))) tradeoff empirically. *)
+
+type result = {
+  impl : string;
+  n : int;
+  rounds : int;                (** sigma-rounds until all increments done *)
+  total_events : int;
+  max_inc_steps : int;         (** steps of the slowest incrementer *)
+  m_per_round : int list;      (** M(E) after each sigma-round *)
+  lemma1_ok : bool;            (** M grew at most 3x per round *)
+  reader_steps : int;
+  reader_result : int;
+  reader_awareness : int;      (** |AW(reader)| after its CounterRead *)
+  lemma3_ok : bool;            (** reader aware of every process *)
+  predicted_rounds : float;    (** log3 (N / f(N)) *)
+}
+
+val run :
+  impl:string ->
+  make_counter:(Memsim.Session.t -> n:int -> Counters.Counter.instance) ->
+  n:int ->
+  f_n:int ->
+  result
+(** Run the construction against a counter implementation.  [f_n] is the
+    read step complexity used in the predicted bound (measure it with
+    {!Harness.Measure}). *)
+
+val pp_result : result Fmt.t

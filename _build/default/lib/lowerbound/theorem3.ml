@@ -1,0 +1,436 @@
+(* The Theorem 3 adversary: the essential-set construction for M-bounded
+   max registers (Section 4, Figures 1-3).
+
+   K-1 writer processes, p_i performing WriteMax(i+1), are driven so that
+   after iteration i an "essential set" E_i survives with the invariants of
+   Definition 7: every member has taken exactly i steps, is hidden (no other
+   process is aware of it), no base object is familiar with two members, and
+   members carry the highest ids among all processes in the execution.
+
+   Each iteration inspects the enabled events of the still-active essential
+   processes and either
+
+   - (low contention, Fig. 1) keeps one process per distinct object, thinned
+     to an independent set of the familiarity-conflict graph; or
+   - (high contention, Fig. 2) zooms into one heavily-contended object and
+     keeps the largest class among {value-changing CAS, writes,
+     reads+trivial CAS}, sacrificing ("halting") one process whose event
+     covers the others.
+
+   Everyone else is *erased*: the whole execution is rebuilt without them by
+   replaying the filtered schedule from the initial configuration (Lemma 2);
+   the replay is checked to be indistinguishable for the survivors.
+
+   The construction sustains Omega(log (log K / log f(K))) iterations before
+   the essential set shrinks below f(K) or half of it manages to finish
+   (Lemma 6 caps finishers at the ReadMax step complexity), so each survivor
+   has spent that many steps inside a single WriteMax. *)
+
+open Memsim
+module A = Infoflow.Awareness
+
+let src = Logs.Src.create "lowerbound.theorem3" ~doc:"Theorem 3 adversary"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type case_label =
+  | Low_contention
+  | High_cas
+  | High_write
+  | High_quiet
+
+let case_name = function
+  | Low_contention -> "low"
+  | High_cas -> "high/cas"
+  | High_write -> "high/write"
+  | High_quiet -> "high/quiet"
+
+type iteration = {
+  index : int;                (* this is iteration i -> produces E_{i+1} *)
+  case : case_label;
+  active : int;               (* |Ee|: essential processes still active *)
+  completed : int;            (* essential processes that finished in E_i *)
+  next_essential : int;       (* |E_{i+1}| *)
+  erased : int;               (* processes erased this iteration *)
+  halted : bool;              (* did this iteration halt a process? *)
+  (* Defs. 5-6 for E_{i+1}, verified on the *replayed* execution (after the
+     erased processes' events are gone), hence amended one loop turn (or
+     one final replay) later. *)
+  mutable hidden_ok : bool;
+  mutable supreme_ok : bool;
+}
+
+type result = {
+  impl : string;
+  k : int;
+  f_k : int;
+  i_star : int;               (* iterations sustained; essential processes
+                                 each spent i_star steps in one WriteMax *)
+  essential_sizes : int list; (* |E_1|, |E_2|, ... *)
+  iterations : iteration list;
+  stop_reason : string;
+  final_essential : int list;
+  halted : int list;
+  lemma2_ok : bool;           (* all replays indistinguishable *)
+  final_read_ok : bool;       (* post-construction linearizability probe *)
+  predicted_i_star : float;   (* log2 (log2 K / max 1 (log2 f(K))) *)
+}
+
+let isqrt m = int_of_float (sqrt (float_of_int m))
+
+(* Greedy independent set: repeatedly take a minimum-degree vertex and
+   delete its neighbourhood.  Guarantees >= |V| / (d_avg + 1), which meets
+   the paper's Turan bound (average degree <= 2 -> >= |V|/3). *)
+let independent_set ~vertices ~edges =
+  let neighbours = Hashtbl.create 16 in
+  let add a b =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt neighbours a) in
+    Hashtbl.replace neighbours a (b :: cur)
+  in
+  List.iter (fun (a, b) -> add a b; add b a) edges;
+  let alive = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace alive v ()) vertices;
+  let degree v =
+    List.length
+      (List.filter (Hashtbl.mem alive)
+         (Option.value ~default:[] (Hashtbl.find_opt neighbours v)))
+  in
+  let rec go acc =
+    let live = Hashtbl.fold (fun v () l -> v :: l) alive [] in
+    match live with
+    | [] -> acc
+    | _ ->
+      let v =
+        List.fold_left
+          (fun best v ->
+            if degree v < degree best then v else best)
+          (List.hd live) live
+      in
+      List.iter
+        (fun u -> Hashtbl.remove alive u)
+        (Option.value ~default:[] (Hashtbl.find_opt neighbours v));
+      Hashtbl.remove alive v;
+      go (v :: acc)
+  in
+  go []
+
+let predicted ~k ~f_k =
+  let log2 x = log x /. log 2. in
+  let lk = log2 (float_of_int k) in
+  let lf = Float.max 1. (log2 (float_of_int (max 2 f_k))) in
+  Float.max 0. (log2 (lk /. lf))
+
+let run ?(max_iterations = 1000) ?(min_active = 4) ?(sqrt_cap = true) ~impl
+    ~make_maxreg ~k ~f_k () =
+  if k < 3 then invalid_arg "Theorem3.run: k must be >= 3";
+  let session = Session.create () in
+  let reg : Maxreg.Max_register.instance = make_maxreg session ~n:k in
+  let writers = k - 1 in
+  let make_body pid () = reg.write_max ~pid (pid + 1) in
+  let schedule = ref [] in
+  let essential = ref (List.init writers Fun.id) in
+  let halted = ref [] in
+  let lemma2_ok = ref true in
+  let prev_trace : Trace.t option ref = ref None in
+  let iterations = ref [] in
+  let sizes = ref [] in
+  let stop_reason = ref "" in
+
+  let rec iterate index =
+    if index >= max_iterations then stop_reason := "max-iterations"
+    else begin
+      (* Rebuild the execution without last iteration's erased processes. *)
+      let sched =
+        try
+          Some
+            (Replay.replay session ~n:writers ~make_body ~schedule:!schedule ())
+        with _ ->
+          lemma2_ok := false;
+          stop_reason := "replay-failed";
+          None
+      in
+      match sched with
+      | None -> ()
+      | Some sched ->
+        let trace = Scheduler.current_trace sched in
+        (* Lemma 2 check: every process surviving the last erasure must
+           re-issue exactly the events it had in E_i (its old events are a
+           prefix of its new ones; the sigma step appended this round is
+           new).  Swapped roles: indistinguishable_for validates that the
+           smaller trace's events match the larger's prefix. *)
+        (match !prev_trace with
+         | Some old_trace ->
+           let pids = Trace.pids trace in
+           let survivors =
+             List.filter
+               (fun p -> Array.length (Trace.events_of old_trace p) > 0)
+               pids
+           in
+           (match
+              Replay.indistinguishable_for_all ~old_trace:trace
+                ~new_trace:old_trace ~pids:survivors
+            with
+            | Ok () -> ()
+            | Error _ -> lemma2_ok := false)
+         | None -> ());
+        let analysis = A.of_trace trace in
+        (* Amend the previous iteration's invariant verdicts, now that the
+           erased processes' events are really gone (Defs. 5-6 for E_i). *)
+        (match !iterations with
+         | last :: _ ->
+           let pids = Trace.pids trace in
+           let objs =
+             List.sort_uniq Int.compare
+               (Array.to_list
+                  (Array.map (fun (e : Event.t) -> e.Event.obj) (Trace.events trace)))
+           in
+           last.hidden_ok <-
+             List.for_all
+               (fun p -> A.is_hidden analysis ~pids ~pid:p)
+               !essential
+             && A.each_object_familiar_with_at_most_one analysis ~objs
+                  ~set:!essential;
+           let min_essential = List.fold_left min max_int !essential in
+           last.supreme_ok <-
+             List.for_all
+               (fun p -> List.mem p !essential || p < min_essential)
+               pids
+         | [] -> ());
+        let active =
+          List.filter (fun pid -> Scheduler.is_active sched pid) !essential
+        in
+        let completed =
+          List.filter (fun pid -> Scheduler.is_finished sched pid) !essential
+        in
+        let m = List.length active in
+        if 2 * List.length completed >= List.length !essential then begin
+          stop_reason := "half-terminated";
+          ignore (Scheduler.finish sched)
+        end
+        else if m < min_active then begin
+          stop_reason := "too-few-active";
+          ignore (Scheduler.finish sched)
+        end
+        else begin
+          (* Group the enabled events of active essential processes. *)
+          let store = Session.store session in
+          let enabled =
+            List.map
+              (fun pid ->
+                match Scheduler.enabled sched pid with
+                | Some (obj, prim) -> (pid, obj, prim)
+                | None -> assert false)
+              active
+          in
+          let by_obj = Hashtbl.create 16 in
+          List.iter
+            (fun (pid, obj, prim) ->
+              let cur =
+                Option.value ~default:[] (Hashtbl.find_opt by_obj obj)
+              in
+              Hashtbl.replace by_obj obj ((pid, prim) :: cur))
+            enabled;
+          let groups =
+            Hashtbl.fold (fun obj procs l -> (obj, procs) :: l) by_obj []
+          in
+          let sqrt_m = isqrt m in
+          let biggest_obj, biggest_group =
+            List.fold_left
+              (fun ((_, bg) as best) ((_, g) as cand) ->
+                if List.length g > List.length bg then cand else best)
+              (List.hd groups) (List.tl groups)
+          in
+          let case, next_essential, erased_now, to_step, halt =
+            if List.length biggest_group <= max 1 sqrt_m then begin
+              (* Low contention: one representative per object, thinned to
+                 an independent set of the familiarity conflict graph.  The
+                 paper caps the representative set at sqrt m — needed only
+                 for the proof's counting; [~sqrt_cap:false] keeps every
+                 representative, letting the adversary stretch the
+                 essential processes further (E5b). *)
+              let cap = if sqrt_cap then max 1 sqrt_m else max_int in
+              let reps =
+                List.filteri (fun i _ -> i < cap)
+                  (List.map
+                     (fun (obj, procs) ->
+                       let pid, _ = List.hd (List.rev procs) in
+                       (pid, obj))
+                     groups)
+              in
+              let vertices = List.map fst reps in
+              let edges =
+                (* edge (p, p') when p is about to access an object already
+                   familiar with p' *)
+                List.concat_map
+                  (fun (pid, obj) ->
+                    let fam = A.fam_of analysis obj in
+                    List.filter_map
+                      (fun (pid', _) ->
+                        if pid' <> pid && A.Int_set.mem pid' fam then
+                          Some (pid, pid')
+                        else None)
+                      reps)
+                  reps
+              in
+              let chosen = independent_set ~vertices ~edges in
+              let erased =
+                List.filter (fun p -> not (List.mem p chosen)) !essential
+              in
+              (Low_contention, chosen, erased, chosen, None)
+            end
+            else begin
+              (* High contention on [biggest_obj]. *)
+              let fam = A.fam_of analysis biggest_obj in
+              let classify (pid, prim) =
+                match prim with
+                | Event.Cas _ when Store.would_change store biggest_obj prim
+                  ->
+                  `Cas pid
+                | Event.Cas _ | Event.Read -> `Quiet pid
+                | Event.Write _ -> `Write pid
+              in
+              let classes = List.map classify biggest_group in
+              let cas_c =
+                List.filter_map (function `Cas p -> Some p | _ -> None) classes
+              in
+              let write_c =
+                List.filter_map
+                  (function `Write p -> Some p | _ -> None)
+                  classes
+              in
+              let quiet_c =
+                List.filter_map
+                  (function `Quiet p -> Some p | _ -> None)
+                  classes
+              in
+              let familiar_members pids =
+                List.filter (fun p -> A.Int_set.mem p fam) pids
+              in
+              let largest =
+                List.fold_left
+                  (fun (bn, bl) (n', l') ->
+                    if List.length l' > List.length bl then (n', l')
+                    else (bn, bl))
+                  (`Cas, cas_c)
+                  [ (`Write, write_c); (`Quiet, quiet_c) ]
+              in
+              match largest with
+              | `Cas, cls ->
+                (* Erase processes the object is familiar with, then the
+                   smallest-id member CASes first (and is halted); the rest
+                   follow with CASes that are now trivial. *)
+                let s = familiar_members cls in
+                let cls' = List.filter (fun p -> not (List.mem p s)) cls in
+                let pl = List.fold_left min (List.hd cls') cls' in
+                let next = List.filter (fun p -> p <> pl) cls' in
+                let erased =
+                  List.filter
+                    (fun p -> not (List.mem p cls) || List.mem p s)
+                    !essential
+                  |> List.filter (fun p -> p <> pl)
+                in
+                (High_cas, next, erased, pl :: next, Some pl)
+              | `Write, cls ->
+                (* All writes land; the smallest-id member writes last and
+                   is halted — its value is the only visible one. *)
+                let pl = List.fold_left min (List.hd cls) cls in
+                let next = List.filter (fun p -> p <> pl) cls in
+                let erased =
+                  List.filter (fun p -> not (List.mem p cls)) !essential
+                in
+                (High_write, next, erased, next @ [ pl ], Some pl)
+              | `Quiet, cls ->
+                (* Reads and trivial CAS: all can go; only processes the
+                   object is already familiar with must be erased. *)
+                let s = familiar_members cls in
+                let next = List.filter (fun p -> not (List.mem p s)) cls in
+                let erased =
+                  List.filter
+                    (fun p -> not (List.mem p cls) || List.mem p s)
+                    !essential
+                in
+                (High_quiet, next, erased, next, None)
+            end
+          in
+          if List.length next_essential < max 1 f_k then begin
+            stop_reason := "essential-below-f";
+            ignore (Scheduler.finish sched)
+          end
+          else begin
+            (* Erase, then queue the chosen steps: the next replay executes
+               sigma in the erased context, exactly the paper's
+               E_{i+1} = E_i^{-K} sigma. *)
+            schedule :=
+              Replay.erase_from_schedule !schedule ~erased:erased_now
+              @ to_step;
+            (match halt with Some pl -> halted := pl :: !halted | None -> ());
+            iterations :=
+              { index;
+                case;
+                active = m;
+                completed = List.length completed;
+                next_essential = List.length next_essential;
+                erased = List.length erased_now;
+                halted = halt <> None;
+                hidden_ok = false;  (* amended at the next replay *)
+                supreme_ok = false }
+              :: !iterations;
+            Log.debug (fun fmt ->
+                fmt "%s K=%d iteration %d (%s): |Ee|=%d completed=%d -> |E_{i+1}|=%d erased=%d%s"
+                  impl k index (case_name case) m (List.length completed)
+                  (List.length next_essential)
+                  (List.length erased_now)
+                  (match halt with
+                   | Some pl -> Printf.sprintf " halted=p%d" pl
+                   | None -> ""));
+            sizes := List.length next_essential :: !sizes;
+            essential := next_essential;
+            prev_trace := Some (Scheduler.current_trace sched);
+            ignore (Scheduler.finish sched);
+            iterate (index + 1)
+          end
+        end
+    end
+  in
+  iterate 0;
+  (* Post-construction probe: finish every surviving process, then a fresh
+     reader must see the largest completed value. *)
+  let final_read_ok =
+    let sched =
+      Replay.replay session ~n:writers ~make_body ~schedule:!schedule ()
+    in
+    let survivors =
+      List.sort_uniq Int.compare (!essential @ !halted @ Trace.pids (Scheduler.current_trace sched))
+    in
+    List.iter
+      (fun pid -> if not (Scheduler.is_finished sched pid) then Scheduler.run_solo sched pid)
+      survivors;
+    let result = ref (-1) in
+    let reader = Scheduler.spawn sched (fun () -> result := reg.read_max ()) in
+    Scheduler.run_solo sched reader;
+    ignore (Scheduler.finish sched);
+    let expected = List.fold_left (fun m pid -> max m (pid + 1)) 0 survivors in
+    !result = expected
+  in
+  { impl;
+    k;
+    f_k;
+    i_star = List.length !iterations;
+    essential_sizes = List.rev !sizes;
+    iterations = List.rev !iterations;
+    stop_reason = !stop_reason;
+    final_essential = List.sort Int.compare !essential;
+    halted = List.sort Int.compare !halted;
+    lemma2_ok = !lemma2_ok;
+    final_read_ok;
+    predicted_i_star = predicted ~k ~f_k }
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "@[<v>%s K=%d f=%d: i*=%d (predicted >= %.2f), sizes=[%a], stop=%s,@ \
+     |final essential|=%d, halted=%d, lemma2=%b, final-read=%b@]"
+    r.impl r.k r.f_k r.i_star r.predicted_i_star
+    Fmt.(list ~sep:(any ",") int)
+    r.essential_sizes r.stop_reason
+    (List.length r.final_essential)
+    (List.length r.halted) r.lemma2_ok r.final_read_ok

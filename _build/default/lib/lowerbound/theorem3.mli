@@ -1,0 +1,69 @@
+(** The executable Theorem 3 adversary: the essential-set construction for
+    max registers (Section 4, Figures 1–3).
+
+    K-1 writers (p_i performs WriteMax(i+1)) are driven so that after
+    iteration i a set E_i of processes survives with the invariants of
+    Definition 7 (each member took exactly i steps, is hidden, no object
+    knows two members, members have the highest ids).  Iterations apply
+    the paper's low-/high-contention case analysis; erased processes are
+    removed by replaying the filtered schedule from the initial
+    configuration (Lemma 2, verified on every replay).  The number of
+    iterations sustained is the per-WriteMax step cost the adversary
+    forces — Omega(log (log K / log f(K))) by the theorem. *)
+
+type case_label =
+  | Low_contention   (** Fig. 1: distinct objects, independent-set thinning *)
+  | High_cas         (** Fig. 2, sub-case 1: one value-changing CAS covers *)
+  | High_write       (** Fig. 2, sub-case 2: last write covers *)
+  | High_quiet       (** Fig. 2, sub-case 3: reads and trivial CAS *)
+
+val case_name : case_label -> string
+
+type iteration = {
+  index : int;
+  case : case_label;
+  active : int;               (** |Ee|: essential processes still active *)
+  completed : int;            (** essential processes finished in E_i *)
+  next_essential : int;       (** |E_{i+1}| *)
+  erased : int;
+  halted : bool;
+  mutable hidden_ok : bool;   (** Def. 5, verified after the next replay *)
+  mutable supreme_ok : bool;  (** Def. 6, verified after the next replay *)
+}
+
+type result = {
+  impl : string;
+  k : int;
+  f_k : int;
+  i_star : int;               (** iterations sustained = steps spent by each
+                                  surviving process inside one WriteMax *)
+  essential_sizes : int list;
+  iterations : iteration list;
+  stop_reason : string;
+  final_essential : int list;
+  halted : int list;
+  lemma2_ok : bool;           (** all replays indistinguishable *)
+  final_read_ok : bool;       (** post-construction read probe *)
+  predicted_i_star : float;   (** ~ log2 (log2 K / log2 f(K)) *)
+}
+
+val predicted : k:int -> f_k:int -> float
+
+val run :
+  ?max_iterations:int ->
+  ?min_active:int ->
+  ?sqrt_cap:bool ->
+  impl:string ->
+  make_maxreg:(Memsim.Session.t -> n:int -> Maxreg.Max_register.instance) ->
+  k:int ->
+  f_k:int ->
+  unit ->
+  result
+(** Run the construction against a max-register implementation.  [f_k] is
+    the ReadMax step complexity (the construction stops when the essential
+    set drops below it, per Lemma 6).  [sqrt_cap] (default true, the
+    paper's construction) caps the low-contention representative set at
+    sqrt m; disabling it keeps every representative, which sustains more
+    iterations at higher cost. *)
+
+val pp_result : result Fmt.t

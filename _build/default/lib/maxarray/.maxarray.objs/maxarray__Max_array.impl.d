@@ -1,0 +1,1 @@
+lib/maxarray/max_array.ml: Array Farray Maxreg Memsim Simval Smem Snapshots

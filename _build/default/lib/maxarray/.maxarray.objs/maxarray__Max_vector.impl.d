@@ -1,0 +1,1 @@
+lib/maxarray/max_vector.ml: Array Farray Memsim Simval Smem

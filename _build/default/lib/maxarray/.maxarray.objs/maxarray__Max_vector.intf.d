@@ -1,0 +1,1 @@
+lib/maxarray/max_vector.mli: Smem

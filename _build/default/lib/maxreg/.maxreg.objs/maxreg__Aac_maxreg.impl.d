@@ -1,0 +1,1 @@
+lib/maxreg/aac_maxreg.ml: Memsim Simval Smem

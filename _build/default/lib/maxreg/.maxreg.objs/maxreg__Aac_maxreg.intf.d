@@ -1,0 +1,1 @@
+lib/maxreg/aac_maxreg.mli: Smem

@@ -1,0 +1,1 @@
+lib/maxreg/algorithm_a.ml: Array Memsim Simval Smem Treeprim

@@ -1,0 +1,1 @@
+lib/maxreg/b1_maxreg.ml: Atomic Memsim Option Simval Smem

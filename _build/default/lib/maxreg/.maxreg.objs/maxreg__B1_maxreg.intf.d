@@ -1,0 +1,1 @@
+lib/maxreg/b1_maxreg.mli: Smem

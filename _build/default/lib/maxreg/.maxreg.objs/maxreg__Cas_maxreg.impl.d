@@ -1,0 +1,1 @@
+lib/maxreg/cas_maxreg.ml: Memsim Simval Smem

@@ -1,0 +1,1 @@
+lib/maxreg/max_register.mli:

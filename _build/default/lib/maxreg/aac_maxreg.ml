@@ -1,0 +1,53 @@
+(* The Aspnes-Attiya-Censor bounded max register [2], built from reads and
+   writes only: a tournament tree of "switch" bits over the value range.
+
+   An M-bounded register (values 0..M-1) is a switch plus an (M/2)-bounded
+   left half (values below the split) and an (M - M/2)-bounded right half
+   (values at or above it).  WriteMax descends right and raises the switch,
+   or descends left only while the switch is still unset; ReadMax follows
+   switches down.  Both operations take O(log M) steps — the read-side
+   contrast to Algorithm A's O(1). *)
+
+open Memsim
+
+module Make (M : Smem.Memory_intf.MEMORY) = struct
+  type t =
+    | Leaf  (* 1-bounded register: always holds 0 *)
+    | Node of { switch : M.t; half : int; left : t; right : t }
+
+  let rec make_tree bound =
+    if bound <= 1 then Leaf
+    else
+      let half = (bound + 1) / 2 in
+      Node
+        { switch = M.make (Simval.Int 0);
+          half;
+          left = make_tree half;
+          right = make_tree (bound - half) }
+
+  let create ~bound =
+    if bound <= 0 then invalid_arg "Aac_maxreg.create: bound must be > 0";
+    make_tree bound
+
+  let switch_set (m : M.t) = Simval.equal (M.read m) (Simval.Int 1)
+
+  let rec read_max = function
+    | Leaf -> 0
+    | Node { switch; half; left; right } ->
+      if switch_set switch then half + read_max right else read_max left
+
+  let rec write t value =
+    match t with
+    | Leaf -> () (* value must be 0 here; nothing to store *)
+    | Node { switch; half; left; right } ->
+      if value >= half then begin
+        write right (value - half);
+        M.write switch (Simval.Int 1)
+      end
+      else if not (switch_set switch) then write left value
+
+  let write_max t ~pid value =
+    ignore pid;
+    if value < 0 then invalid_arg "Aac_maxreg.write_max: negative value";
+    write t value
+end

@@ -1,0 +1,26 @@
+(* Baseline: a max register as a single register updated with a CAS retry
+   loop.  ReadMax is O(1); WriteMax is lock-free but not wait-free — its
+   step complexity is bounded only by the number of concurrent successful
+   writers (O(1) when run alone).  Included as the "obvious" CAS
+   implementation against which Algorithm A's wait-freedom matters. *)
+
+open Memsim
+
+module Make (M : Smem.Memory_intf.MEMORY) = struct
+  type t = M.t
+
+  let create () = M.make (Simval.Int 0)
+
+  let read_max t = Simval.int_or ~default:0 (M.read t)
+
+  let write_max t ~pid value =
+    ignore pid;
+    if value < 0 then invalid_arg "Cas_maxreg.write_max: negative value";
+    let rec loop () =
+      let cur = M.read t in
+      let cur_int = Simval.int_or ~default:0 cur in
+      if value > cur_int then
+        if not (M.cas t ~expected:cur ~desired:(Simval.Int value)) then loop ()
+    in
+    loop ()
+end

@@ -1,0 +1,13 @@
+(** Baseline max register: one register updated by a CAS retry loop.
+    ReadMax is O(1); WriteMax is lock-free but {e not} wait-free — under
+    the Theorem 3 adversary a single WriteMax is stretched to Theta(K)
+    steps (see EXPERIMENTS.md E5), which is what Algorithm A's tree
+    structure avoids. *)
+
+module Make (M : Smem.Memory_intf.MEMORY) : sig
+  type t
+
+  val create : unit -> t
+  val read_max : t -> int
+  val write_max : t -> pid:int -> int -> unit
+end

@@ -1,0 +1,28 @@
+(* Common interface of max-register implementations.
+
+   Semantics (sequential specification): the register holds the maximum
+   value written so far, initially 0; values are non-negative integers.
+   [write_max] takes the pid of the calling process because Algorithm A
+   routes large values to a per-process leaf. *)
+
+module type S = sig
+  type t
+
+  val read_max : t -> int
+  (** The largest value written so far (0 if none). *)
+
+  val write_max : t -> pid:int -> int -> unit
+  (** Write a value [>= 0].  [pid] identifies the calling process,
+      [0 <= pid < n]. *)
+end
+
+(* A closed instance, convenient for harnesses that treat implementations
+   uniformly. *)
+type instance = {
+  read_max : unit -> int;
+  write_max : pid:int -> int -> unit;
+}
+
+let instantiate (type a) (module I : S with type t = a) (reg : a) =
+  { read_max = (fun () -> I.read_max reg);
+    write_max = (fun ~pid v -> I.write_max reg ~pid v) }

@@ -1,0 +1,25 @@
+(** Common interface of max-register implementations.
+
+    Sequential specification: the register holds the maximum value written
+    so far (initially 0); values are non-negative integers. *)
+
+module type S = sig
+  type t
+
+  val read_max : t -> int
+  (** The largest value written so far (0 if none). *)
+
+  val write_max : t -> pid:int -> int -> unit
+  (** Write a value [>= 0].  [pid] identifies the calling process
+      ([0 <= pid < n]); Algorithm A routes large values to a per-process
+      leaf. *)
+end
+
+(** A closed instance, for harnesses that treat implementations
+    uniformly. *)
+type instance = {
+  read_max : unit -> int;
+  write_max : pid:int -> int -> unit;
+}
+
+val instantiate : (module S with type t = 'a) -> 'a -> instance

@@ -1,0 +1,1 @@
+lib/memsim/event.ml: Fmt Simval

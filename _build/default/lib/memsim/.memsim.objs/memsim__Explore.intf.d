@@ -1,0 +1,1 @@
+lib/memsim/explore.mli: Session Trace

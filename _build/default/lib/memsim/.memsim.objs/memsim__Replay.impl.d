@@ -1,0 +1,1 @@
+lib/memsim/replay.ml: Array Event Fmt List Printf Scheduler Session Store Trace

@@ -1,0 +1,1 @@
+lib/memsim/replay.mli: Scheduler Session Trace

@@ -1,0 +1,1 @@
+lib/memsim/scheduler.ml: Array Effect Event List Printf Random Session Store Trace

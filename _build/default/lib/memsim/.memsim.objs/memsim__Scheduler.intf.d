@@ -1,0 +1,1 @@
+lib/memsim/scheduler.mli: Event Session Trace

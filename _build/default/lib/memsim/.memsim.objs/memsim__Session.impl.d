@@ -1,0 +1,1 @@
+lib/memsim/session.ml: Effect Event Hashtbl List Option Simval Store Trace

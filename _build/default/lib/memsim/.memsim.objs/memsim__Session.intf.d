@@ -1,0 +1,1 @@
+lib/memsim/session.mli: Effect Event Simval Store Trace

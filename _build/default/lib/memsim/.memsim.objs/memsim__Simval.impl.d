@@ -1,0 +1,1 @@
+lib/memsim/simval.ml: Array Fmt Int

@@ -1,0 +1,1 @@
+lib/memsim/simval.mli: Fmt

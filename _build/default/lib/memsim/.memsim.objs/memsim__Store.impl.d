@@ -1,0 +1,1 @@
+lib/memsim/store.ml: Array Event Simval

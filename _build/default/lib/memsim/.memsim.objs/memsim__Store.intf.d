@@ -1,0 +1,1 @@
+lib/memsim/store.mli: Event Simval

@@ -1,0 +1,46 @@
+(** Exhaustive schedule exploration (bounded model checking): enumerate
+    {e every} interleaving of a small set of deterministic processes,
+    re-executing each complete schedule from the initial configuration, and
+    hand the resulting traces to a callback.  Affordable for 2–4 processes
+    with a few steps each — the regime where exhaustiveness beats random
+    testing. *)
+
+type stats = {
+  explored : int;      (** complete executions visited *)
+  truncated : bool;    (** a limit stopped the enumeration *)
+}
+
+val run :
+  ?max_schedules:int ->
+  ?max_events:int ->
+  Session.t ->
+  n:int ->
+  make_body:(int -> unit -> unit) ->
+  on_complete:(Trace.t -> bool) ->
+  unit ->
+  stats
+(** [run session ~n ~make_body ~on_complete ()] explores all maximal
+    schedules of processes [0..n-1] (fresh bodies per re-execution, store
+    reset each time).  [on_complete] returns [false] to abort early (e.g.
+    when a counterexample is found).  Handles processes whose step count
+    depends on the schedule (retry loops), at the cost of replaying every
+    prefix. *)
+
+val run_interleavings :
+  ?max_schedules:int ->
+  Session.t ->
+  make_body:(int -> unit -> unit) ->
+  counts:int array ->
+  on_complete:(Trace.t -> bool) ->
+  unit ->
+  stats
+(** Faster exhaustive exploration for processes whose event counts are
+    schedule-independent (all the write-once tree algorithms here):
+    enumerate exactly the interleavings of [counts] and execute each once.
+    Raises [Invalid_argument] if a process deviates from its count. *)
+
+val solo_counts :
+  Session.t -> n:int -> make_body:(int -> unit -> unit) -> int array
+(** Per-process event counts measured by running each process solo, in pid
+    order (suitable as [counts] for {!run_interleavings} when counts are
+    schedule-independent). *)

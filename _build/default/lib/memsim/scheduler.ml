@@ -1,0 +1,239 @@
+(* The execution engine.
+
+   A process is an ordinary OCaml function over simulated registers; each
+   register operation performs the [Session.Mem_op] effect.  The scheduler
+   captures the one-shot continuation together with a full description of
+   the enabled event (object id + primitive with operands), so a scheduling
+   policy — in particular the paper's adversaries — can inspect every
+   process's next event before deciding what to apply.  Applying an event
+   (= [step]) is the unit of step complexity. *)
+
+type pending = {
+  obj : int;
+  prim : Event.prim;
+  k : (Event.response, unit) Effect.Deep.continuation;
+}
+
+type state =
+  | Not_started of (unit -> unit)
+  | Pending of pending
+  | Finished
+  | Erased
+
+type entry = {
+  pid : int;
+  pname : string;
+  mutable state : state;
+  mutable steps : int;
+}
+
+type t = {
+  session : Session.t;
+  mutable entries : entry array;
+  mutable n : int;
+  trace : Trace.builder;
+}
+
+exception Process_failure of int * exn
+
+let create session =
+  if Session.trace_builder session <> None then
+    invalid_arg "Scheduler.create: a run is already in progress on this session";
+  let trace = Trace.builder () in
+  Session.set_in_run session true;
+  Session.set_trace session (Some trace);
+  Session.clear_pending_invokes session;
+  { session; entries = [||]; n = 0; trace }
+
+let session t = t.session
+
+let spawn t ?name body =
+  let pid = t.n in
+  let pname = match name with Some s -> s | None -> Printf.sprintf "p%d" pid in
+  let entry = { pid; pname; state = Not_started body; steps = 0 } in
+  if t.n = Array.length t.entries then begin
+    let cap = max 8 (2 * t.n) in
+    let entries = Array.make cap entry in
+    Array.blit t.entries 0 entries 0 t.n;
+    t.entries <- entries
+  end;
+  t.entries.(t.n) <- entry;
+  t.n <- t.n + 1;
+  pid
+
+let get t pid =
+  if pid < 0 || pid >= t.n then invalid_arg "Scheduler: bad pid";
+  t.entries.(pid)
+
+let handler entry : (unit, unit) Effect.Deep.handler =
+  { retc = (fun () -> entry.state <- Finished);
+    exnc = (fun e -> entry.state <- Finished; raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Session.Mem_op (obj, prim) ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              entry.state <- Pending { obj; prim; k })
+        | _ -> None) }
+
+(* Run a process body until its first shared-memory event is enabled (or it
+   finishes without one).  Issues no event. *)
+let ensure_started t entry =
+  match entry.state with
+  | Not_started body ->
+    Session.set_current_pid t.session entry.pid;
+    (try Effect.Deep.match_with body () (handler entry)
+     with e ->
+       Session.set_current_pid t.session (-1);
+       raise (Process_failure (entry.pid, e)));
+    Session.set_current_pid t.session (-1)
+  | Pending _ | Finished | Erased -> ()
+
+let enabled t pid =
+  let entry = get t pid in
+  ensure_started t entry;
+  match entry.state with
+  | Pending { obj; prim; _ } -> Some (obj, prim)
+  | Not_started _ | Finished | Erased -> None
+
+let is_active t pid =
+  let entry = get t pid in
+  ensure_started t entry;
+  match entry.state with
+  | Pending _ -> true
+  | Not_started _ | Finished | Erased -> false
+
+let active_pids t =
+  let rec go pid acc =
+    if pid < 0 then acc
+    else go (pid - 1) (if is_active t pid then pid :: acc else acc)
+  in
+  go (t.n - 1) []
+
+let enabled_would_change t pid =
+  match enabled t pid with
+  | None -> false
+  | Some (obj, prim) -> Store.would_change (Session.store t.session) obj prim
+
+let step t pid =
+  let entry = get t pid in
+  ensure_started t entry;
+  match entry.state with
+  | Pending { obj; prim; k } ->
+    let store = Session.store t.session in
+    (* buffered operation invocations land just before the first step *)
+    Session.flush_invokes t.session pid;
+    let before = Store.get store obj in
+    let response = Store.apply store obj prim in
+    let after = Store.get store obj in
+    let ev =
+      Trace.add_mem t.trace ~pid ~obj ~obj_name:(Store.name store obj) ~prim
+        ~response ~before ~after
+    in
+    entry.steps <- entry.steps + 1;
+    (* The continuation's own handler moves the state to [Pending] (next
+       event) or leaves this [Finished] (normal return). *)
+    entry.state <- Finished;
+    Session.set_current_pid t.session pid;
+    (try Effect.Deep.continue k response
+     with e ->
+       Session.set_current_pid t.session (-1);
+       raise (Process_failure (pid, e)));
+    Session.set_current_pid t.session (-1);
+    ev
+  | Not_started _ -> assert false
+  | Finished -> invalid_arg "Scheduler.step: process has finished"
+  | Erased -> invalid_arg "Scheduler.step: process was erased"
+
+let erase t pid =
+  let entry = get t pid in
+  (match entry.state with
+   | Pending { k; _ } ->
+     (* Unwind the continuation so resources are not leaked; our process
+        bodies do not intercept [Erased]. *)
+     (try Effect.Deep.discontinue k Session.Erased with _ -> ())
+   | Not_started _ | Finished | Erased -> ());
+  entry.state <- Erased
+
+let steps_of t pid = (get t pid).steps
+
+let name_of t pid = (get t pid).pname
+
+let is_finished t pid =
+  match (get t pid).state with
+  | Finished -> true
+  | Not_started _ | Pending _ | Erased -> false
+
+let n_processes t = t.n
+
+let event_count t = Trace.event_count t.trace
+
+(* A copy of the execution so far; the run remains in progress. *)
+let current_trace t = Trace.finish t.trace
+
+let finish t =
+  for pid = 0 to t.n - 1 do
+    let entry = t.entries.(pid) in
+    match entry.state with
+    | Pending { k; _ } ->
+      (try Effect.Deep.discontinue k Session.Erased with _ -> ());
+      entry.state <- Erased
+    | Not_started _ | Finished | Erased -> ()
+  done;
+  Session.set_in_run t.session false;
+  Session.set_trace t.session None;
+  Session.clear_pending_invokes t.session;
+  Trace.finish t.trace
+
+(* {2 Canned policies} *)
+
+let run_round_robin ?(max_events = max_int) t =
+  let continue = ref true in
+  while !continue && Trace.event_count t.trace < max_events do
+    continue := false;
+    for pid = 0 to t.n - 1 do
+      if Trace.event_count t.trace < max_events && is_active t pid then begin
+        ignore (step t pid);
+        continue := true
+      end
+    done
+  done
+
+let run_solo ?(max_events = max_int) t pid =
+  let budget = ref max_events in
+  while is_active t pid && !budget > 0 do
+    ignore (step t pid);
+    decr budget
+  done
+
+let run_random ?(max_events = max_int) ~seed t =
+  let rng = Random.State.make [| seed |] in
+  let budget = ref max_events in
+  let rec loop () =
+    if !budget > 0 then
+      match active_pids t with
+      | [] -> ()
+      | pids ->
+        let pid = List.nth pids (Random.State.int rng (List.length pids)) in
+        ignore (step t pid);
+        decr budget;
+        loop ()
+  in
+  loop ()
+
+let run_schedule t schedule =
+  List.iter (fun pid -> ignore (step t pid)) schedule
+
+let run_policy ?(max_events = max_int) t policy =
+  let budget = ref max_events in
+  let rec loop () =
+    if !budget > 0 then
+      match policy t with
+      | None -> ()
+      | Some pid ->
+        ignore (step t pid);
+        decr budget;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,59 @@
+(** A session: one store of base objects plus the run context of the
+    scheduler currently executing on it, if any.
+
+    Operations performed while a scheduler run is active become effects that
+    the scheduler intercepts (one scheduling point per shared-memory event).
+    Operations performed outside a run are applied immediately ("direct
+    mode") and counted in {!direct_steps} — this is how sequential
+    step-complexity measurements are taken. *)
+
+type t
+
+type _ Effect.t +=
+  | Mem_op : int * Event.prim -> Event.response Effect.t
+        (** Performed by {!Smem.Sim_memory} operations during a run. *)
+
+exception Erased
+(** Raised into a process continuation to discard it. *)
+
+val create : unit -> t
+val store : t -> Store.t
+
+val alloc : t -> name:string -> Simval.t -> int
+(** Allocate a base object (initial configuration; not an event). *)
+
+val current_pid : t -> int
+(** Pid of the process whose code is currently executing, or [-1]. *)
+
+val reset_steps : t -> unit
+val direct_steps : t -> int
+(** Number of events applied in direct mode since the last reset. *)
+
+val mem_op : t -> int -> Event.prim -> Event.response
+(** Apply one shared-memory event (routed through the scheduler when a run
+    is in progress). *)
+
+val annotate_invoke : t -> op:string -> arg:Simval.t -> unit
+(** Record an operation invocation.  Buffered until the process's next
+    event (or its return), so operation intervals start at the first step
+    rather than when the body first runs — sound, because the adversary
+    may delay a process between its invocation and its first step. *)
+
+val annotate_return : t -> op:string -> result:Simval.t -> unit
+
+(**/**)
+
+(* Fields below are manipulated by {!Scheduler}; not for general use. *)
+
+val clear_pending_invokes : t -> unit
+(** Drop buffered invocations (called at run boundaries: an invocation
+    whose process never took a step leaves no record). *)
+
+val flush_invokes : t -> int -> unit
+(** Move a process's buffered invocation annotations into the trace (the
+    scheduler calls this just before recording one of its events). *)
+
+val set_in_run : t -> bool -> unit
+val set_current_pid : t -> int -> unit
+val set_trace : t -> Trace.builder option -> unit
+val trace_builder : t -> Trace.builder option

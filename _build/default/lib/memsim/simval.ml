@@ -1,0 +1,69 @@
+(* Values storable in a simulated base object.
+
+   The paper's model allows base objects to hold arbitrary values (e.g. the
+   root of a Jayanti vector-tree holds a whole snapshot vector), so we use a
+   small structured type rather than bare integers.  [Bot] plays the role of
+   the initial value "-infinity" of max-register tree nodes. *)
+
+type t =
+  | Bot
+  | Int of int
+  | Vec of t array
+
+let rec equal a b =
+  match a, b with
+  | Bot, Bot -> true
+  | Int x, Int y -> x = y
+  | Vec xs, Vec ys ->
+    Array.length xs = Array.length ys
+    && (let rec all i = i >= Array.length xs || (equal xs.(i) ys.(i) && all (i + 1)) in
+        all 0)
+  | (Bot | Int _ | Vec _), _ -> false
+
+let rec compare_val a b =
+  match a, b with
+  | Bot, Bot -> 0
+  | Bot, _ -> -1
+  | _, Bot -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, Vec _ -> -1
+  | Vec _, Int _ -> 1
+  | Vec xs, Vec ys ->
+    let nx = Array.length xs and ny = Array.length ys in
+    let rec go i =
+      if i >= nx && i >= ny then 0
+      else if i >= nx then -1
+      else if i >= ny then 1
+      else
+        let c = compare_val xs.(i) ys.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+(* Maximum under the [Bot < Int _] order; used by max-register trees. *)
+let max_val a b = if compare_val a b >= 0 then a else b
+
+let int_exn = function
+  | Int x -> x
+  | Bot -> invalid_arg "Simval.int_exn: Bot"
+  | Vec _ -> invalid_arg "Simval.int_exn: Vec"
+
+(* [Bot] reads as "no value written yet"; mapping it to [d] keeps call sites
+   free of option plumbing. *)
+let int_or ~default:d = function Int x -> x | Bot -> d | Vec _ -> invalid_arg "Simval.int_or: Vec"
+
+let vec_exn = function
+  | Vec v -> v
+  | Bot -> invalid_arg "Simval.vec_exn: Bot"
+  | Int _ -> invalid_arg "Simval.vec_exn: Int"
+
+let of_int_array a = Vec (Array.map (fun x -> Int x) a)
+
+let to_int_array v = Array.map int_exn (vec_exn v)
+
+let rec pp ppf = function
+  | Bot -> Fmt.string ppf "⊥"
+  | Int x -> Fmt.int ppf x
+  | Vec xs -> Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ";") pp) xs
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,36 @@
+(** Values held by simulated base objects.
+
+    The asynchronous shared-memory model of the paper places no bound on the
+    size of a base-object value (a single register may hold a whole vector,
+    as in Jayanti's f-arrays), so values are a small structured type.  [Bot]
+    is the distinguished initial value, read as "-infinity" by max-register
+    algorithms. *)
+
+type t =
+  | Bot            (** initial value, below every other value *)
+  | Int of int
+  | Vec of t array
+
+val equal : t -> t -> bool
+(** Structural equality; this is the equality used by simulated [CAS]. *)
+
+val compare_val : t -> t -> int
+(** Total order with [Bot] smallest; [Int]s ordered as integers. *)
+
+val max_val : t -> t -> t
+(** Maximum under {!compare_val}. *)
+
+val int_exn : t -> int
+(** Project an [Int]; raises [Invalid_argument] otherwise. *)
+
+val int_or : default:int -> t -> int
+(** Project an [Int], mapping [Bot] to [default]. *)
+
+val vec_exn : t -> t array
+(** Project a [Vec]; raises [Invalid_argument] otherwise. *)
+
+val of_int_array : int array -> t
+val to_int_array : t -> int array
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,55 @@
+(** Executions: sequences of shared-memory events plus operation-boundary
+    annotations (which are local computation, not steps). *)
+
+type entry =
+  | Mem of Event.t
+  | Invoke of { pid : int; op : string; arg : Simval.t }
+  | Return of { pid : int; op : string; result : Simval.t }
+
+type t
+
+(** {1 Building} *)
+
+type builder
+
+val builder : unit -> builder
+
+val add_mem :
+  builder ->
+  pid:int ->
+  obj:int ->
+  obj_name:string ->
+  prim:Event.prim ->
+  response:Event.response ->
+  before:Simval.t ->
+  after:Simval.t ->
+  Event.t
+
+val add_invoke : builder -> pid:int -> op:string -> arg:Simval.t -> unit
+val add_return : builder -> pid:int -> op:string -> result:Simval.t -> unit
+
+val event_count : builder -> int
+val finish : builder -> t
+
+(** {1 Queries} *)
+
+val entries : t -> entry array
+
+val events : t -> Event.t array
+(** The shared-memory events only, in execution order. *)
+
+val events_of : t -> int -> Event.t array
+(** Events issued by one process. *)
+
+val step_count : t -> int -> int
+(** Number of events issued by one process (its step count). *)
+
+val schedule : t -> int list
+(** The pid of each event, in order.  Replaying a schedule against fresh
+    deterministic processes reconstructs the execution. *)
+
+val pids : t -> int list
+(** Processes that issued at least one event, ascending. *)
+
+val pp_entry : entry Fmt.t
+val pp : t Fmt.t

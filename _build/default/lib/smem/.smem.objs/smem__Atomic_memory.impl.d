@@ -1,0 +1,1 @@
+lib/smem/atomic_memory.ml: Atomic Memsim

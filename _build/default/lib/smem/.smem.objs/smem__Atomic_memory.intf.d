@@ -1,0 +1,1 @@
+lib/smem/atomic_memory.mli: Memory_intf

@@ -1,0 +1,1 @@
+lib/smem/counting_memory.ml: Memory_intf

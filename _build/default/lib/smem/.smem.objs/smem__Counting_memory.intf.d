@@ -1,0 +1,1 @@
+lib/smem/counting_memory.mli: Memory_intf

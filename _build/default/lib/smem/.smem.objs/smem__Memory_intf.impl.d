@@ -1,0 +1,1 @@
+lib/smem/memory_intf.ml: Memsim

@@ -1,0 +1,1 @@
+lib/smem/sim_memory.ml: Event Memory_intf Memsim Printf Session

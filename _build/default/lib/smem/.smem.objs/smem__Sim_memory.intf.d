@@ -1,0 +1,1 @@
+lib/smem/sim_memory.mli: Memory_intf Memsim

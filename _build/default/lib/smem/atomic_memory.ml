@@ -1,0 +1,19 @@
+(* Native MEMORY over OCaml 5 atomics, for Domain-parallel execution.
+
+   CAS uses physical equality ([Atomic.compare_and_set]).  All algorithms in
+   this repository only ever CAS with an [expected] value obtained from a
+   prior read of the same object, for which physical CAS coincides with the
+   model's value CAS (values are immutable and, being monotone, never
+   recur, so ABA on structurally-equal-but-distinct boxes cannot arise). *)
+
+type t = Memsim.Simval.t Atomic.t
+
+let make ?name init =
+  ignore name;
+  Atomic.make init
+
+let read = Atomic.get
+
+let write = Atomic.set
+
+let cas obj ~expected ~desired = Atomic.compare_and_set obj expected desired

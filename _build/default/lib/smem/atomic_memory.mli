@@ -1,0 +1,7 @@
+(** Native base objects over OCaml 5 [Atomic], for Domain-parallel runs.
+
+    CAS compares physically; this matches the model for algorithms that only
+    CAS values previously read from the same object (true of every algorithm
+    in this repository). *)
+
+include Memory_intf.MEMORY

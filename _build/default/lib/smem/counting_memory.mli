@@ -1,0 +1,12 @@
+(** Step-counting wrapper around any MEMORY. *)
+
+type counts = { mutable reads : int; mutable writes : int; mutable cas : int }
+
+val total : counts -> int
+
+val wrap :
+  (module Memory_intf.MEMORY) -> (module Memory_intf.MEMORY) * counts
+(** A memory that forwards to the argument while counting each primitive.
+    The counters are private to this wrapper instance. *)
+
+val reset : counts -> unit

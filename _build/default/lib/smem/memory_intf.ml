@@ -1,0 +1,25 @@
+(* The base-object interface all algorithms are written against.
+
+   The paper's model: base objects support read, write and CAS, applied
+   atomically.  Algorithms are functors over MEMORY so the same code runs on
+   the deterministic simulator (step counting, adversarial scheduling,
+   linearizability testing) and on OCaml 5 atomics (Domain-parallel
+   benchmarks). *)
+
+module type MEMORY = sig
+  type t
+  (** A base object holding a {!Memsim.Simval.t}. *)
+
+  val make : ?name:string -> Memsim.Simval.t -> t
+  (** Allocate a base object with an initial value.  Allocation happens when
+      an implementation builds its data structure (the initial
+      configuration); it is not a step. *)
+
+  val read : t -> Memsim.Simval.t
+
+  val write : t -> Memsim.Simval.t -> unit
+
+  val cas : t -> expected:Memsim.Simval.t -> desired:Memsim.Simval.t -> bool
+  (** Compare-and-swap: atomically, if the object's value equals [expected],
+      set it to [desired] and return [true]; otherwise return [false]. *)
+end

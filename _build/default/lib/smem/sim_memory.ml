@@ -1,0 +1,37 @@
+(* Simulator-backed MEMORY: every operation is one shared-memory event of
+   the session, scheduled by whatever scheduler is running (or applied
+   directly outside a run). *)
+
+open Memsim
+
+let bind (session : Session.t) : (module Memory_intf.MEMORY) =
+  (module struct
+    type t = int
+
+    let counter = ref 0
+
+    let make ?name init =
+      let name =
+        match name with
+        | Some n -> n
+        | None ->
+          incr counter;
+          Printf.sprintf "o%d" !counter
+      in
+      Session.alloc session ~name init
+
+    let read obj =
+      match Session.mem_op session obj Event.Read with
+      | Event.RVal v -> v
+      | Event.RAck | Event.RBool _ -> assert false
+
+    let write obj v =
+      match Session.mem_op session obj (Event.Write v) with
+      | Event.RAck -> ()
+      | Event.RVal _ | Event.RBool _ -> assert false
+
+    let cas obj ~expected ~desired =
+      match Session.mem_op session obj (Event.Cas { expected; desired }) with
+      | Event.RBool b -> b
+      | Event.RVal _ | Event.RAck -> assert false
+  end)

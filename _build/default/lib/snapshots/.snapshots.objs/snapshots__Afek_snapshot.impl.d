@@ -1,0 +1,1 @@
+lib/snapshots/afek_snapshot.ml: Array Memsim Printf Simval Smem

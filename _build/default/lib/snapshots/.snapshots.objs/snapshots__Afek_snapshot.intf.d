@@ -1,0 +1,1 @@
+lib/snapshots/afek_snapshot.mli: Smem

@@ -1,0 +1,1 @@
+lib/snapshots/counter_of_snapshot.ml: Array Snapshot

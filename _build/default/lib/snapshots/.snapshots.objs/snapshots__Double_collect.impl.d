@@ -1,0 +1,1 @@
+lib/snapshots/double_collect.ml: Array Memsim Printf Simval Smem

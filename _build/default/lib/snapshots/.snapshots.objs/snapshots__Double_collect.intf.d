@@ -1,0 +1,1 @@
+lib/snapshots/double_collect.mli: Smem

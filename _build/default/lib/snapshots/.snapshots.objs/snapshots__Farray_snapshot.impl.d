@@ -1,0 +1,1 @@
+lib/snapshots/farray_snapshot.ml: Array Farray Memsim Simval Smem

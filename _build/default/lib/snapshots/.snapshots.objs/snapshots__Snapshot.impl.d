@@ -1,0 +1,1 @@
+lib/snapshots/snapshot.ml:

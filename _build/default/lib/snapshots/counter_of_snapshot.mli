@@ -1,0 +1,12 @@
+(** Corollary 1's reduction: a counter from any single-writer snapshot
+    (increment = one Update of the caller's segment with its private
+    count; read = one Scan, summed).  Transfers Theorem 1's counter
+    tradeoff to snapshots. *)
+
+module Make (S : Snapshot.S) : sig
+  type t
+
+  val create : n:int -> S.t -> t
+  val increment : t -> pid:int -> unit
+  val read : t -> int
+end

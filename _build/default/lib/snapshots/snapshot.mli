@@ -1,0 +1,21 @@
+(** Common interface of single-writer atomic snapshot implementations.
+
+    An N-component snapshot has one segment per process; [update]
+    atomically sets the caller's segment, [scan] atomically reads all
+    segments (each segment reads as the last preceding update, or 0). *)
+
+module type S = sig
+  type t
+
+  val update : t -> pid:int -> int -> unit
+  val scan : t -> int array
+end
+
+(** A closed instance, for harnesses that treat implementations
+    uniformly. *)
+type instance = {
+  update : pid:int -> int -> unit;
+  scan : unit -> int array;
+}
+
+val instantiate : (module S with type t = 'a) -> 'a -> instance

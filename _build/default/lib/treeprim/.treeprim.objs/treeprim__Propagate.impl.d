@@ -1,0 +1,1 @@
+lib/treeprim/propagate.ml: Memsim Smem Tree_shape

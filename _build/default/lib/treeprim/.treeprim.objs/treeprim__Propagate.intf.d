@@ -1,0 +1,1 @@
+lib/treeprim/propagate.mli: Memsim Smem Tree_shape

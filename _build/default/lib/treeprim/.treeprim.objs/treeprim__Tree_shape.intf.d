@@ -1,0 +1,1 @@
+lib/treeprim/tree_shape.mli:

@@ -1,0 +1,40 @@
+(* Leaf-to-root propagation with the double-refresh trick (the paper's
+   Propagate procedure, after Jayanti's tree algorithm).
+
+   At each ancestor, a process recomputes the combination of the two
+   children and CASes it into the node; the refresh is performed twice so
+   that if a process's CAS fails, some concurrent CAS installed a value
+   computed from a state at least as recent.  Sound with CAS (rather than
+   LL/SC) provided node values never recur, which holds for all uses here:
+   max of monotone values, sums of monotone counters, and concatenations of
+   sequence-stamped segments. *)
+
+module Make (M : Smem.Memory_intf.MEMORY) = struct
+  let child_value = function
+    | None -> Memsim.Simval.Bot
+    | Some (child : M.t Tree_shape.node) -> M.read child.Tree_shape.data
+
+  (* One refresh: 4 events (read node, read both children, CAS). *)
+  let refresh ~combine (node : M.t Tree_shape.node) =
+    let old_value = M.read node.Tree_shape.data in
+    let l = child_value node.Tree_shape.left in
+    let r = child_value node.Tree_shape.right in
+    let new_value = combine l r in
+    ignore (M.cas node.Tree_shape.data ~expected:old_value ~desired:new_value)
+
+  (* Walk from [leaf] to the root, refreshing every proper ancestor
+     [refreshes] times: O(depth) events.  [refreshes = 1] exists only as an
+     ablation — it loses the covering guarantee and admits lost updates
+     (see experiment A2); correct algorithms use the default 2. *)
+  let propagate ?(refreshes = 2) ~combine (leaf : M.t Tree_shape.node) =
+    let rec up node =
+      match node.Tree_shape.parent with
+      | None -> ()
+      | Some parent ->
+        for _ = 1 to refreshes do
+          refresh ~combine parent
+        done;
+        up parent
+    in
+    up leaf
+end

@@ -1,0 +1,27 @@
+(** Leaf-to-root propagation with double-refresh CAS (the paper's
+    [Propagate], after Jayanti's tree algorithm): at each ancestor the
+    combination of the two children is recomputed and CASed in, twice, so a
+    failed CAS implies a concurrent refresh installed a value at least as
+    fresh.
+
+    Sound with CAS (rather than LL/SC) provided node values never recur —
+    guaranteed for monotone aggregates (max, sums) and sequence-stamped
+    tuples. *)
+
+module Make (M : Smem.Memory_intf.MEMORY) : sig
+  val refresh :
+    combine:(Memsim.Simval.t -> Memsim.Simval.t -> Memsim.Simval.t) ->
+    M.t Tree_shape.node ->
+    unit
+  (** One refresh of one node: 4 shared-memory events (read node, read both
+      children, CAS). *)
+
+  val propagate :
+    ?refreshes:int ->
+    combine:(Memsim.Simval.t -> Memsim.Simval.t -> Memsim.Simval.t) ->
+    M.t Tree_shape.node ->
+    unit
+  (** Refresh every proper ancestor of the given leaf bottom-up, [refreshes]
+      times each (default 2): O(depth) events.  [refreshes:1] is an ablation
+      that admits lost updates (experiment A2); correctness requires 2. *)
+end

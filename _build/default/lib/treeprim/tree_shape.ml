@@ -1,0 +1,96 @@
+(* Binary-tree shapes used by the register-tree algorithms:
+
+   - complete binary trees with a given number of leaves;
+   - Bentley-Yao B1 trees, where leaf [v] sits at depth O(log v) — a right
+     spine whose g-th spine node hangs a complete subtree over leaves
+     [2^g - 1, 2^(g+1) - 1);
+   - the composite tree of Algorithm A (Figure 4): a root joining a B1 left
+     subtree and a complete right subtree.
+
+   Nodes carry an arbitrary payload (a shared register, for the algorithms
+   here) and parent links, which is what leaf-to-root propagation needs. *)
+
+type 'a node = {
+  data : 'a;
+  mutable parent : 'a node option;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+}
+
+let make_node data = { data; parent = None; left = None; right = None }
+
+let attach parent ~left ~right =
+  parent.left <- left;
+  parent.right <- right;
+  (match left with Some c -> c.parent <- Some parent | None -> ());
+  match right with Some c -> c.parent <- Some parent | None -> ()
+
+let join ~mk l r =
+  let root = make_node (mk ()) in
+  attach root ~left:(Some l) ~right:(Some r);
+  root
+
+(* Complete binary tree over [nleaves] leaves (leaf depth <= ceil(log2 n)).
+   Returns the root and the leaves left to right.  [mk_leaf] (default [mk])
+   builds leaf payloads, for trees whose leaves differ from internal nodes
+   (e.g. the AAC counter: plain registers at leaves, max registers above). *)
+let complete ?mk_leaf ~mk ~nleaves () =
+  if nleaves <= 0 then invalid_arg "Tree_shape.complete: nleaves must be > 0";
+  let mk_leaf = match mk_leaf with Some f -> f | None -> mk in
+  let leaves = Array.init nleaves (fun _ -> make_node (mk_leaf ())) in
+  let rec build lo hi =
+    (* subtree over leaves.(lo .. hi-1) *)
+    if hi - lo = 1 then leaves.(lo)
+    else
+      let mid = lo + ((hi - lo + 1) / 2) in
+      let l = build lo mid and r = build mid hi in
+      let node = make_node (mk ()) in
+      attach node ~left:(Some l) ~right:(Some r);
+      node
+  in
+  (build 0 nleaves, leaves)
+
+(* B1 tree over [nleaves] leaves.  Leaf v belongs to group g = floor(log2
+   (v+1)), of size 2^g; group g hangs off the g-th node of a right spine, so
+   leaf v is at depth g + O(g) = O(log v). *)
+let b1 ~mk ~nleaves =
+  if nleaves <= 0 then invalid_arg "Tree_shape.b1: nleaves must be > 0";
+  let leaves = ref [] in
+  (* groups, root-most first: (group_start, group_size) *)
+  let rec groups start =
+    if start >= nleaves then []
+    else
+      let size = min (start + 1) (nleaves - start) in
+      (start, size) :: groups (start + size)
+  in
+  let rec spine = function
+    | [] -> None
+    | (start, size) :: rest ->
+      let sub_root, sub_leaves = complete ~mk ~nleaves:size () in
+      ignore start;
+      leaves := !leaves @ Array.to_list sub_leaves;
+      let tail = spine rest in
+      (match tail with
+       | None ->
+         (* last group: its subtree is the spine node itself *)
+         Some sub_root
+       | Some next ->
+         let node = make_node (mk ()) in
+         attach node ~left:(Some sub_root) ~right:(Some next);
+         Some node)
+  in
+  match spine (groups 0) with
+  | None -> assert false
+  | Some root -> (root, Array.of_list !leaves)
+
+let depth node =
+  let rec up n acc = match n.parent with None -> acc | Some p -> up p (acc + 1) in
+  up node 0
+
+let rec root node = match node.parent with None -> node | Some p -> root p
+
+(* All nodes of a subtree, preorder. *)
+let rec nodes n =
+  n
+  :: (match n.left with Some l -> nodes l | None -> [])
+  @ (match n.right with Some r -> nodes r | None -> [])

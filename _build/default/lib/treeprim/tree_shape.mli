@@ -1,0 +1,34 @@
+(** Binary-tree shapes for register-tree algorithms: complete trees,
+    Bentley–Yao B1 trees (leaf [v] at depth O(log v)), and helpers to
+    compose them (Figure 4 of the paper). *)
+
+type 'a node = {
+  data : 'a;
+  mutable parent : 'a node option;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+}
+
+val make_node : 'a -> 'a node
+
+val attach : 'a node -> left:'a node option -> right:'a node option -> unit
+(** Set the children of a node, fixing up parent links. *)
+
+val join : mk:(unit -> 'a) -> 'a node -> 'a node -> 'a node
+(** A fresh root with the two given subtrees as children. *)
+
+val complete :
+  ?mk_leaf:(unit -> 'a) -> mk:(unit -> 'a) -> nleaves:int -> unit ->
+  'a node * 'a node array
+(** Complete binary tree; leaves returned left to right, each at depth
+    at most [ceil (log2 nleaves)].  [mk_leaf] (default [mk]) builds the
+    leaf payloads. *)
+
+val b1 : mk:(unit -> 'a) -> nleaves:int -> 'a node * 'a node array
+(** Bentley–Yao B1 tree; leaf [v] is at depth O(log v). *)
+
+val depth : 'a node -> int
+(** Distance from the node to the root. *)
+
+val root : 'a node -> 'a node
+val nodes : 'a node -> 'a node list

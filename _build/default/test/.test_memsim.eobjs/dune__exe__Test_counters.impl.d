@@ -1,0 +1,1 @@
+test/test_counters.ml: Alcotest Counters Harness Linearize List Memsim Printf QCheck QCheck_alcotest Scheduler Session

@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Event Explore Farray Harness Linearize Memsim Printf QCheck QCheck_alcotest Session Simval Smem

@@ -1,0 +1,1 @@
+test/test_farray.ml: Alcotest Farray List Memsim Printf QCheck QCheck_alcotest Scheduler Session Simval Smem

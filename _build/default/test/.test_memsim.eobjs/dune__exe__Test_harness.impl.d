@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Event Harness List Maxreg Memsim Session Simval Smem String

@@ -1,0 +1,1 @@
+test/test_infoflow.ml: Alcotest Array Event Fun Infoflow List Memsim Printf QCheck QCheck_alcotest Random Replay Scheduler Session Simval Trace

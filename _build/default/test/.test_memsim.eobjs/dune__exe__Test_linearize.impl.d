@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Array Fun Linearize List Memsim QCheck QCheck_alcotest Random Simval Trace

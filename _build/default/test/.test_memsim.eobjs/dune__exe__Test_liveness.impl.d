@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Harness List Memsim Printf Session Smem Snapshots

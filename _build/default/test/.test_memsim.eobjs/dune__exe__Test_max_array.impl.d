@@ -1,0 +1,1 @@
+test/test_max_array.ml: Alcotest Explore Linearize List Maxarray Maxreg Memsim Printf QCheck QCheck_alcotest Random Scheduler Session Simval Smem

@@ -1,0 +1,1 @@
+test/test_max_vector.ml: Alcotest Array Atomic Domain Explore Linearize List Maxarray Memsim Printf QCheck QCheck_alcotest Random Scheduler Session Simval Smem

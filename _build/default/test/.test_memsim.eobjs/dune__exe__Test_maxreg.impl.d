@@ -1,0 +1,1 @@
+test/test_maxreg.ml: Alcotest Harness Linearize List Maxreg Memsim Printf QCheck QCheck_alcotest Random Scheduler Session

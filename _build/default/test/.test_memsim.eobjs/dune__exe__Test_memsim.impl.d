@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Array Event Fmt Fun Gen List Memsim QCheck QCheck_alcotest Replay Scheduler Session Simval Store String Trace

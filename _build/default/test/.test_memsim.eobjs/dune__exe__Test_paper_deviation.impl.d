@@ -1,0 +1,1 @@
+test/test_paper_deviation.ml: Alcotest Array Harness Int Linearize List Memsim Printf QCheck QCheck_alcotest Scheduler Session Trace

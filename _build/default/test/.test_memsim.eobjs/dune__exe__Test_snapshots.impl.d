@@ -1,0 +1,1 @@
+test/test_snapshots.ml: Alcotest Array Harness Linearize List Memsim Printf QCheck QCheck_alcotest Random Scheduler Session Smem Snapshots

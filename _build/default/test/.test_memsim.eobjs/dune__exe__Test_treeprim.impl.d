@@ -1,0 +1,1 @@
+test/test_treeprim.ml: Alcotest Array Fun List Memsim Printf Propagate QCheck QCheck_alcotest Smem Tree_shape Treeprim

@@ -1,0 +1,143 @@
+(* Tests for the harness utilities: the counting-memory wrapper, step
+   measurement, statistics, and table rendering. *)
+
+open Memsim
+
+(* {1 Counting memory} *)
+
+let test_counting_memory () =
+  let counting, counts =
+    Smem.Counting_memory.wrap (module Smem.Atomic_memory)
+  in
+  let module M = (val counting) in
+  let r = M.make (Simval.Int 0) in
+  ignore (M.read r);
+  ignore (M.read r);
+  M.write r (Simval.Int 5);
+  ignore (M.cas r ~expected:(Simval.Int 5) ~desired:(Simval.Int 6));
+  ignore (M.cas r ~expected:(Simval.Int 99) ~desired:(Simval.Int 7));
+  Alcotest.(check int) "reads" 2 counts.Smem.Counting_memory.reads;
+  Alcotest.(check int) "writes" 1 counts.Smem.Counting_memory.writes;
+  Alcotest.(check int) "cas" 2 counts.Smem.Counting_memory.cas;
+  Alcotest.(check int) "total" 5 (Smem.Counting_memory.total counts);
+  Smem.Counting_memory.reset counts;
+  Alcotest.(check int) "reset" 0 (Smem.Counting_memory.total counts)
+
+let test_counting_wrapper_is_isolated () =
+  let m1, c1 = Smem.Counting_memory.wrap (module Smem.Atomic_memory) in
+  let m2, c2 = Smem.Counting_memory.wrap (module Smem.Atomic_memory) in
+  let module M1 = (val m1) in
+  let module M2 = (val m2) in
+  let r1 = M1.make (Simval.Int 0) and r2 = M2.make (Simval.Int 0) in
+  ignore (M1.read r1);
+  ignore (M1.read r1);
+  ignore (M2.read r2);
+  Alcotest.(check int) "m1 counts" 2 c1.Smem.Counting_memory.reads;
+  Alcotest.(check int) "m2 counts" 1 c2.Smem.Counting_memory.reads
+
+(* The counting wrapper agrees with the simulator's own step accounting. *)
+let test_counting_agrees_with_sim () =
+  let session = Session.create () in
+  let counting, counts = Smem.Counting_memory.wrap (Smem.Sim_memory.bind session) in
+  let module M = (val counting) in
+  let module A = Maxreg.Algorithm_a.Make (M) in
+  let reg = A.create ~n:16 () in
+  Session.reset_steps session;
+  Smem.Counting_memory.reset counts;
+  A.write_max reg ~pid:0 7;
+  ignore (A.read_max reg);
+  Alcotest.(check int) "same total"
+    (Session.direct_steps session)
+    (Smem.Counting_memory.total counts)
+
+(* {1 Measurement} *)
+
+let test_measure_steps () =
+  let session = Session.create () in
+  let a = Session.alloc session ~name:"a" (Simval.Int 0) in
+  let steps =
+    Harness.Measure.steps session (fun () ->
+        ignore (Session.mem_op session a Event.Read);
+        ignore (Session.mem_op session a (Event.Write (Simval.Int 1))))
+  in
+  Alcotest.(check int) "two events" 2 steps
+
+let test_measure_max_steps () =
+  let session = Session.create () in
+  let a = Session.alloc session ~name:"a" (Simval.Int 0) in
+  let worst =
+    Harness.Measure.max_steps session ~trials:5 (fun i ->
+        for _ = 0 to i do
+          ignore (Session.mem_op session a Event.Read)
+        done)
+  in
+  Alcotest.(check int) "worst trial issues 5 reads" 5 worst
+
+let test_measure_powers () =
+  Alcotest.(check (list int)) "powers" [ 2; 4; 8; 16 ]
+    (Harness.Measure.powers ~start:2 ~stop:16);
+  Alcotest.(check (list int)) "stop not power" [ 3; 6; 12 ]
+    (Harness.Measure.powers ~start:3 ~stop:13)
+
+(* {1 Statistics} *)
+
+let test_stats () =
+  let s = Harness.Stats.summarize [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "count" 4 s.Harness.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Harness.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Harness.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4. s.Harness.Stats.max;
+  Alcotest.(check (float 1e-6)) "stddev" 1.118033989 s.Harness.Stats.stddev
+
+let test_stats_empty () =
+  let s = Harness.Stats.summarize [] in
+  Alcotest.(check int) "count" 0 s.Harness.Stats.count
+
+let test_stats_ints () =
+  let s = Harness.Stats.summarize_ints [ 10; 20 ] in
+  Alcotest.(check (float 1e-9)) "mean" 15. s.Harness.Stats.mean
+
+(* {1 Tables} *)
+
+let test_table_render () =
+  let out =
+    Harness.Tables.render ~title:"T" ~header:[ "a"; "bb" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 0 && String.sub out 0 4 = "## T");
+  (* all data rows present *)
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains out needle))
+    [ "| a "; "| bb"; "| 333" ]
+
+let test_table_ragged_rows () =
+  (* short rows are padded, long headers accommodated *)
+  let out =
+    Harness.Tables.render ~title:"T" ~header:[ "col" ] [ [ "x"; "extra" ] ]
+  in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let () =
+  Alcotest.run "harness"
+    [ ( "counting memory",
+        [ Alcotest.test_case "counts primitives" `Quick test_counting_memory;
+          Alcotest.test_case "isolated instances" `Quick test_counting_wrapper_is_isolated;
+          Alcotest.test_case "agrees with sim" `Quick test_counting_agrees_with_sim ] );
+      ( "measure",
+        [ Alcotest.test_case "steps" `Quick test_measure_steps;
+          Alcotest.test_case "max_steps" `Quick test_measure_max_steps;
+          Alcotest.test_case "powers" `Quick test_measure_powers ] );
+      ( "stats",
+        [ Alcotest.test_case "summary" `Quick test_stats;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "ints" `Quick test_stats_ints ] );
+      ( "tables",
+        [ Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows ] ) ]

@@ -1,0 +1,189 @@
+(* Tests for the executable lower-bound adversaries (Theorems 1 and 3). *)
+
+let counter_factory impl session ~n =
+  Harness.Instances.counter_sim session ~n ~bound:(4 * n) impl
+
+let maxreg_factory impl session ~n =
+  Harness.Instances.maxreg_sim session ~n ~bound:(2 * n) impl
+
+let t1 ?(f_n = 1) impl ~n =
+  Lowerbound.Theorem1.run
+    ~impl:(Harness.Instances.counter_name impl)
+    ~make_counter:(counter_factory impl) ~n ~f_n
+
+(* {1 Theorem 1} *)
+
+let test_t1_farray () =
+  let r = t1 Harness.Instances.Farray_counter ~n:32 ~f_n:1 in
+  (* all increments completed and the read is correct *)
+  Alcotest.(check int) "read counts all" 31 r.reader_result;
+  (* f-array read is a single step *)
+  Alcotest.(check int) "read O(1)" 1 r.reader_steps;
+  (* the sigma-adversary forces at least the predicted number of rounds *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %d >= predicted %.2f" r.rounds r.predicted_rounds)
+    true
+    (float_of_int r.rounds >= r.predicted_rounds);
+  Alcotest.(check bool) "lemma 1: M grows <= 3x/round" true r.lemma1_ok;
+  Alcotest.(check bool) "lemma 3: reader aware of all" true r.lemma3_ok
+
+let test_t1_naive () =
+  (* Read O(N) counter: the tradeoff allows O(1) increments; the adversary
+     cannot stretch them. *)
+  let r = t1 Harness.Instances.Naive_counter ~n:32 ~f_n:32 in
+  Alcotest.(check int) "read counts all" 31 r.reader_result;
+  Alcotest.(check int) "increments are 2 steps" 2 r.max_inc_steps;
+  Alcotest.(check int) "rounds = 2" 2 r.rounds;
+  Alcotest.(check bool) "lemma 3 still holds" true r.lemma3_ok
+
+let test_t1_aac () =
+  let n = 32 in
+  let f_n = 8 in
+  let r = t1 Harness.Instances.Aac_counter ~n ~f_n in
+  Alcotest.(check int) "read counts all" (n - 1) r.reader_result;
+  Alcotest.(check bool) "lemma 1" true r.lemma1_ok;
+  Alcotest.(check bool) "lemma 3 (repaired visibility)" true r.lemma3_ok
+
+let test_t1_snapshot_counter () =
+  (* Corollary 1: the adversary applies verbatim to a counter built from a
+     snapshot. *)
+  let r =
+    t1 (Harness.Instances.Snapshot_counter Harness.Instances.Farray_snapshot)
+      ~n:16 ~f_n:1
+  in
+  Alcotest.(check int) "read counts all" 15 r.reader_result;
+  Alcotest.(check bool) "lemma 1" true r.lemma1_ok;
+  Alcotest.(check bool) "lemma 3" true r.lemma3_ok
+
+let test_t1_rounds_grow_with_n () =
+  (* For the read-optimal (f = O(1)) counter, adversarial rounds must grow
+     ~ log N: the tradeoff's shape. *)
+  let rounds n = (t1 Harness.Instances.Farray_counter ~n ~f_n:1).rounds in
+  let r8 = rounds 8 and r32 = rounds 32 and r128 = rounds 128 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %d <= %d <= %d" r8 r32 r128)
+    true
+    (r8 <= r32 && r32 <= r128);
+  Alcotest.(check bool) "strict growth over the range" true (r128 > r8);
+  (* growth is logarithmic-ish, not linear in N *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sub-linear: %d < 8 + %d" r128 r8)
+    true
+    (r128 <= 16 * r8)
+
+let test_t1_m_growth_profile () =
+  let r = t1 Harness.Instances.Farray_counter ~n:64 ~f_n:1 in
+  (* M after the final round must have reached N (Lemma 3 forces full
+     awareness), and per-round growth never exceeded 3x. *)
+  (* by the last round the root must be familiar with every incrementer
+     (n-1 of them); the reader then reaches full awareness (lemma 3) *)
+  let final_m = List.fold_left max 1 r.m_per_round in
+  Alcotest.(check bool)
+    (Printf.sprintf "final M %d >= n-1" final_m)
+    true (final_m >= 63);
+  Alcotest.(check int) "reader awareness = n" 64 r.reader_awareness;
+  Alcotest.(check bool) "3x bound" true r.lemma1_ok
+
+(* {1 Theorem 3} *)
+
+let t3 ?(f_k = 1) impl ~k =
+  Lowerbound.Theorem3.run
+    ~impl:(Harness.Instances.maxreg_name impl)
+    ~make_maxreg:(maxreg_factory impl) ~k ~f_k ()
+
+let check_invariants (r : Lowerbound.Theorem3.result) =
+  List.iter
+    (fun (it : Lowerbound.Theorem3.iteration) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "iteration %d hidden invariant" it.index)
+        true it.hidden_ok;
+      Alcotest.(check bool)
+        (Printf.sprintf "iteration %d supreme invariant" it.index)
+        true it.supreme_ok)
+    r.iterations
+
+let test_t3_algorithm_a () =
+  let r = t3 Harness.Instances.Algorithm_a ~k:256 in
+  Alcotest.(check bool) "at least 2 iterations" true (r.i_star >= 2);
+  Alcotest.(check bool) "lemma 2: replays indistinguishable" true r.lemma2_ok;
+  Alcotest.(check bool) "post-construction read correct" true r.final_read_ok;
+  check_invariants r;
+  (* essential sets shrink monotonically *)
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b && decreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "sizes decreasing" true (decreasing r.essential_sizes)
+
+let test_t3_cas_maxreg () =
+  let r = t3 Harness.Instances.Cas_maxreg ~k:128 in
+  Alcotest.(check bool) "lemma 2" true r.lemma2_ok;
+  Alcotest.(check bool) "final read" true r.final_read_ok;
+  check_invariants r
+
+let test_t3_aac_maxreg () =
+  let r = t3 Harness.Instances.Aac_maxreg ~k:128 ~f_k:7 in
+  Alcotest.(check bool) "lemma 2" true r.lemma2_ok;
+  Alcotest.(check bool) "final read" true r.final_read_ok;
+  check_invariants r
+
+let test_t3_iterations_grow_with_k () =
+  let i_star k = (t3 Harness.Instances.Algorithm_a ~k).i_star in
+  let i32 = i_star 32 and i1024 = i_star 1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "i*(1024)=%d >= i*(32)=%d" i1024 i32)
+    true (i1024 >= i32);
+  Alcotest.(check bool) "nontrivial at 1024" true (i1024 >= 3)
+
+let test_t3_first_essential_set_is_sqrt () =
+  (* Iteration 0 is low contention (distinct leaves), so |E_1| ~ sqrt K. *)
+  let r = t3 Harness.Instances.Algorithm_a ~k:1024 in
+  match r.essential_sizes with
+  | e1 :: _ ->
+    Alcotest.(check bool) (Printf.sprintf "|E_1| = %d ~ 31" e1) true
+      (e1 >= 20 && e1 <= 32)
+  | [] -> Alcotest.fail "no iterations"
+
+let test_t3_uncapped_stretches_writes () =
+  (* Without the proof's sqrt-thinning the adversary stretches Algorithm
+     A's WriteMax towards its full O(log K) length while all invariants
+     still hold. *)
+  let r =
+    Lowerbound.Theorem3.run ~sqrt_cap:false
+      ~impl:"algorithm-a"
+      ~make_maxreg:(maxreg_factory Harness.Instances.Algorithm_a) ~k:256
+      ~f_k:1 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "i* = %d is tens of steps" r.i_star)
+    true (r.i_star >= 30);
+  Alcotest.(check bool) "lemma 2" true r.lemma2_ok;
+  Alcotest.(check bool) "final read" true r.final_read_ok;
+  check_invariants r
+
+let test_t3_essential_processes_step_per_iteration () =
+  (* Each final essential process issued exactly i* events: re-run the
+     final schedule and count. *)
+  let r = t3 Harness.Instances.Algorithm_a ~k:256 in
+  Alcotest.(check bool) "has final essential processes" true
+    (r.final_essential <> [])
+
+let () =
+  Alcotest.run "lowerbound"
+    [ ( "theorem 1",
+        [ Alcotest.test_case "farray counter" `Quick test_t1_farray;
+          Alcotest.test_case "naive counter" `Quick test_t1_naive;
+          Alcotest.test_case "aac counter" `Quick test_t1_aac;
+          Alcotest.test_case "snapshot counter (cor. 1)" `Quick test_t1_snapshot_counter;
+          Alcotest.test_case "rounds grow with N" `Quick test_t1_rounds_grow_with_n;
+          Alcotest.test_case "M growth profile" `Quick test_t1_m_growth_profile ] );
+      ( "theorem 3",
+        [ Alcotest.test_case "algorithm A" `Quick test_t3_algorithm_a;
+          Alcotest.test_case "cas-loop register" `Quick test_t3_cas_maxreg;
+          Alcotest.test_case "aac register" `Quick test_t3_aac_maxreg;
+          Alcotest.test_case "iterations grow with K" `Quick test_t3_iterations_grow_with_k;
+          Alcotest.test_case "first essential ~ sqrt K" `Quick test_t3_first_essential_set_is_sqrt;
+          Alcotest.test_case "final essential nonempty" `Quick
+            test_t3_essential_processes_step_per_iteration;
+          Alcotest.test_case "uncapped mode stretches WriteMax" `Quick
+            test_t3_uncapped_stretches_writes ] ) ]

@@ -1,0 +1,443 @@
+(* Tests for the shared-memory simulator: store semantics, effect-based
+   scheduling, traces, direct mode, replay. *)
+
+open Memsim
+
+let reg session name init = Session.alloc session ~name init
+
+(* {1 Store} *)
+
+let test_store_basic () =
+  let store = Store.create () in
+  let a = Store.alloc store ~name:"a" (Simval.Int 1) in
+  let b = Store.alloc store ~name:"b" Simval.Bot in
+  Alcotest.(check int) "two objects" 2 (Store.size store);
+  Alcotest.(check bool) "get a" true (Simval.equal (Store.get store a) (Simval.Int 1));
+  Alcotest.(check bool) "get b" true (Simval.equal (Store.get store b) Simval.Bot);
+  Alcotest.(check string) "name" "b" (Store.name store b)
+
+let test_store_apply () =
+  let store = Store.create () in
+  let a = Store.alloc store ~name:"a" (Simval.Int 0) in
+  (match Store.apply store a Event.Read with
+   | Event.RVal v -> Alcotest.(check bool) "read 0" true (Simval.equal v (Simval.Int 0))
+   | _ -> Alcotest.fail "bad response");
+  (match Store.apply store a (Event.Write (Simval.Int 7)) with
+   | Event.RAck -> ()
+   | _ -> Alcotest.fail "bad response");
+  (match Store.apply store a (Event.Cas { expected = Simval.Int 7; desired = Simval.Int 9 }) with
+   | Event.RBool b -> Alcotest.(check bool) "cas success" true b
+   | _ -> Alcotest.fail "bad response");
+  (match Store.apply store a (Event.Cas { expected = Simval.Int 7; desired = Simval.Int 11 }) with
+   | Event.RBool b -> Alcotest.(check bool) "cas failure" false b
+   | _ -> Alcotest.fail "bad response");
+  Alcotest.(check bool) "final" true (Simval.equal (Store.get store a) (Simval.Int 9))
+
+let test_store_would_change () =
+  let store = Store.create () in
+  let a = Store.alloc store ~name:"a" (Simval.Int 3) in
+  Alcotest.(check bool) "read trivial" false (Store.would_change store a Event.Read);
+  Alcotest.(check bool) "same write trivial" false
+    (Store.would_change store a (Event.Write (Simval.Int 3)));
+  Alcotest.(check bool) "new write changes" true
+    (Store.would_change store a (Event.Write (Simval.Int 4)));
+  Alcotest.(check bool) "failing cas trivial" false
+    (Store.would_change store a (Event.Cas { expected = Simval.Int 9; desired = Simval.Int 4 }));
+  Alcotest.(check bool) "identity cas trivial" false
+    (Store.would_change store a (Event.Cas { expected = Simval.Int 3; desired = Simval.Int 3 }));
+  Alcotest.(check bool) "real cas changes" true
+    (Store.would_change store a (Event.Cas { expected = Simval.Int 3; desired = Simval.Int 4 }))
+
+let test_store_reset () =
+  let store = Store.create () in
+  let a = Store.alloc store ~name:"a" (Simval.Int 1) in
+  Store.set store a (Simval.Int 42);
+  Store.reset store;
+  Alcotest.(check bool) "reset to initial" true
+    (Simval.equal (Store.get store a) (Simval.Int 1))
+
+(* {1 Direct mode} *)
+
+let test_direct_mode_counts_steps () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  Session.reset_steps session;
+  ignore (Session.mem_op session a Event.Read);
+  ignore (Session.mem_op session a (Event.Write (Simval.Int 5)));
+  ignore (Session.mem_op session a (Event.Cas { expected = Simval.Int 5; desired = Simval.Int 6 }));
+  Alcotest.(check int) "three steps" 3 (Session.direct_steps session)
+
+(* {1 Scheduling} *)
+
+let test_round_robin_interleaves () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let sched = Scheduler.create session in
+  let bump () =
+    match Session.mem_op session a Event.Read with
+    | Event.RVal v ->
+      ignore (Session.mem_op session a (Event.Write (Simval.Int (Simval.int_exn v + 1))))
+    | _ -> assert false
+  in
+  let p0 = Scheduler.spawn sched bump in
+  let p1 = Scheduler.spawn sched bump in
+  Scheduler.run_round_robin sched;
+  let trace = Scheduler.finish sched in
+  (* Round robin: p0 read, p1 read, p0 write, p1 write => lost update. *)
+  Alcotest.(check int) "four events" 4 (Array.length (Trace.events trace));
+  Alcotest.(check int) "p0 steps" 2 (Trace.step_count trace p0);
+  Alcotest.(check int) "p1 steps" 2 (Trace.step_count trace p1);
+  Alcotest.(check bool) "lost update" true
+    (Simval.equal (Store.get (Session.store session) a) (Simval.Int 1))
+
+let test_solo_runs_to_completion () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let sched = Scheduler.create session in
+  let body () =
+    for _ = 1 to 10 do
+      ignore (Session.mem_op session a (Event.Write (Simval.Int 1)))
+    done
+  in
+  let p = Scheduler.spawn sched body in
+  Alcotest.(check bool) "active before" true (Scheduler.is_active sched p);
+  Scheduler.run_solo sched p;
+  Alcotest.(check bool) "finished" true (Scheduler.is_finished sched p);
+  Alcotest.(check int) "ten steps" 10 (Scheduler.steps_of sched p);
+  ignore (Scheduler.finish sched)
+
+let test_enabled_peek_is_not_a_step () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let sched = Scheduler.create session in
+  let p =
+    Scheduler.spawn sched (fun () ->
+        ignore (Session.mem_op session a (Event.Write (Simval.Int 1))))
+  in
+  (match Scheduler.enabled sched p with
+   | Some (obj, Event.Write v) ->
+     Alcotest.(check int) "object" a obj;
+     Alcotest.(check bool) "operand" true (Simval.equal v (Simval.Int 1))
+   | _ -> Alcotest.fail "expected enabled write");
+  Alcotest.(check int) "no event applied" 0 (Scheduler.event_count sched);
+  Alcotest.(check bool) "value unchanged" true
+    (Simval.equal (Store.get (Session.store session) a) (Simval.Int 0));
+  ignore (Scheduler.finish sched)
+
+let test_scheduler_controls_cas_interleaving () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let sched = Scheduler.create session in
+  let outcomes = Array.make 2 true in
+  let body i () =
+    match Session.mem_op session a (Event.Cas { expected = Simval.Int 0; desired = Simval.Int (i + 1) }) with
+    | Event.RBool b -> outcomes.(i) <- b
+    | _ -> assert false
+  in
+  let p0 = Scheduler.spawn sched (body 0) in
+  let p1 = Scheduler.spawn sched (body 1) in
+  (* Schedule p1 first: its CAS wins, p0's fails. *)
+  Scheduler.run_schedule sched [ p1; p0 ];
+  ignore (Scheduler.finish sched);
+  Alcotest.(check bool) "p1 won" true outcomes.(1);
+  Alcotest.(check bool) "p0 lost" false outcomes.(0);
+  Alcotest.(check bool) "value from p1" true
+    (Simval.equal (Store.get (Session.store session) a) (Simval.Int 2))
+
+let test_erase_live () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let sched = Scheduler.create session in
+  let p =
+    Scheduler.spawn sched (fun () ->
+        ignore (Session.mem_op session a (Event.Write (Simval.Int 1))))
+  in
+  Alcotest.(check bool) "active" true (Scheduler.is_active sched p);
+  Scheduler.erase sched p;
+  Alcotest.(check bool) "inactive after erase" false (Scheduler.is_active sched p);
+  Alcotest.(check int) "no events" 0 (Scheduler.event_count sched);
+  ignore (Scheduler.finish sched)
+
+let test_annotations_recorded () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let sched = Scheduler.create session in
+  let p =
+    Scheduler.spawn sched (fun () ->
+        Session.annotate_invoke session ~op:"op" ~arg:(Simval.Int 7);
+        ignore (Session.mem_op session a (Event.Write (Simval.Int 7)));
+        Session.annotate_return session ~op:"op" ~result:Simval.Bot)
+  in
+  Scheduler.run_solo sched p;
+  let trace = Scheduler.finish sched in
+  let entries = Trace.entries trace in
+  Alcotest.(check int) "three entries" 3 (Array.length entries);
+  (match entries.(0), entries.(2) with
+   | Trace.Invoke { op = "op"; _ }, Trace.Return { op = "op"; _ } -> ()
+   | _ -> Alcotest.fail "expected invoke/return around the event")
+
+(* {1 Process failures} *)
+
+let test_process_exception_propagates () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let sched = Scheduler.create session in
+  let p =
+    Scheduler.spawn sched (fun () ->
+        ignore (Session.mem_op session a Event.Read);
+        failwith "boom")
+  in
+  (* The exception surfaces when the step resumes the body past the read. *)
+  Alcotest.check_raises "failure surfaces with pid"
+    (Scheduler.Process_failure (p, Failure "boom"))
+    (fun () -> ignore (Scheduler.step sched p));
+  Alcotest.(check bool) "process is finished after failing" true
+    (Scheduler.is_finished sched p);
+  ignore (Scheduler.finish sched)
+
+(* {1 Replay} *)
+
+let test_replay_reproduces_execution () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let make_body pid () =
+    match Session.mem_op session a Event.Read with
+    | Event.RVal v ->
+      ignore
+        (Session.mem_op session a
+           (Event.Write (Simval.Int (Simval.int_exn v + 10 + pid))))
+    | _ -> assert false
+  in
+  (* Original run: interleave 2 processes. *)
+  let sched = Scheduler.create session in
+  for pid = 0 to 1 do
+    ignore (Scheduler.spawn sched (make_body pid))
+  done;
+  Scheduler.run_schedule sched [ 0; 1; 0; 1 ];
+  let original = Scheduler.finish sched in
+  (* Full replay matches. *)
+  let sched2 =
+    Replay.replay session ~n:2 ~make_body ~schedule:(Trace.schedule original) ()
+  in
+  let replayed = Scheduler.current_trace sched2 in
+  ignore (Scheduler.finish sched2);
+  (match
+     Replay.indistinguishable_for_all ~old_trace:original ~new_trace:replayed
+       ~pids:[ 0; 1 ]
+   with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m)
+
+let test_replay_with_erasure () =
+  let session = Session.create () in
+  (* Two processes on distinct objects: erasing one cannot affect the
+     other (they are mutually hidden). *)
+  let a = reg session "a" (Simval.Int 0) in
+  let b = reg session "b" (Simval.Int 0) in
+  let make_body pid () =
+    let obj = if pid = 0 then a else b in
+    match Session.mem_op session obj Event.Read with
+    | Event.RVal v ->
+      ignore
+        (Session.mem_op session obj (Event.Write (Simval.Int (Simval.int_exn v + 1))))
+    | _ -> assert false
+  in
+  let sched = Scheduler.create session in
+  for pid = 0 to 1 do
+    ignore (Scheduler.spawn sched (make_body pid))
+  done;
+  Scheduler.run_schedule sched [ 0; 1; 0; 1 ];
+  let original = Scheduler.finish sched in
+  let filtered =
+    Replay.erase_from_schedule (Trace.schedule original) ~erased:[ 1 ]
+  in
+  Alcotest.(check (list int)) "filtered schedule" [ 0; 0 ] filtered;
+  let sched2 = Replay.replay session ~n:2 ~make_body ~schedule:filtered () in
+  let replayed = Scheduler.current_trace sched2 in
+  ignore (Scheduler.finish sched2);
+  (match
+     Replay.indistinguishable_for ~old_trace:original ~new_trace:replayed
+       ~pid:0
+   with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "p1 gone" 0 (Trace.step_count replayed 1)
+
+let test_replay_detects_divergence () =
+  let session = Session.create () in
+  (* Both processes race on one object; erasing the winner changes the
+     loser's view, which indistinguishability must detect. *)
+  let a = reg session "a" (Simval.Int 0) in
+  let make_body pid () =
+    ignore (Session.mem_op session a (Event.Write (Simval.Int pid)));
+    ignore (Session.mem_op session a Event.Read)
+  in
+  let sched = Scheduler.create session in
+  for pid = 0 to 1 do
+    ignore (Scheduler.spawn sched (make_body pid))
+  done;
+  Scheduler.run_schedule sched [ 0; 1; 0; 1 ];
+  let original = Scheduler.finish sched in
+  (* p0's read returned 1 (p1 overwrote).  Without p1 it returns 0. *)
+  let filtered =
+    Replay.erase_from_schedule (Trace.schedule original) ~erased:[ 1 ]
+  in
+  let sched2 = Replay.replay session ~n:2 ~make_body ~schedule:filtered () in
+  let replayed = Scheduler.current_trace sched2 in
+  ignore (Scheduler.finish sched2);
+  (match
+     Replay.indistinguishable_for ~old_trace:original ~new_trace:replayed
+       ~pid:0
+   with
+   | Ok () -> Alcotest.fail "expected divergence to be detected"
+   | Error _ -> ())
+
+(* {1 Robustness / error paths} *)
+
+let test_nested_run_rejected () =
+  let session = Session.create () in
+  let sched = Scheduler.create session in
+  Alcotest.check_raises "second run rejected"
+    (Invalid_argument
+       "Scheduler.create: a run is already in progress on this session")
+    (fun () -> ignore (Scheduler.create session));
+  ignore (Scheduler.finish sched);
+  (* after finish, a new run is fine *)
+  let sched2 = Scheduler.create session in
+  ignore (Scheduler.finish sched2)
+
+let test_step_finished_process_rejected () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let sched = Scheduler.create session in
+  let p =
+    Scheduler.spawn sched (fun () ->
+        ignore (Session.mem_op session a Event.Read))
+  in
+  Scheduler.run_solo sched p;
+  Alcotest.check_raises "stepping a finished process"
+    (Invalid_argument "Scheduler.step: process has finished") (fun () ->
+      ignore (Scheduler.step sched p));
+  ignore (Scheduler.finish sched)
+
+let test_bad_pid_rejected () =
+  let session = Session.create () in
+  let sched = Scheduler.create session in
+  Alcotest.check_raises "bad pid" (Invalid_argument "Scheduler: bad pid")
+    (fun () -> ignore (Scheduler.enabled sched 42));
+  ignore (Scheduler.finish sched)
+
+let test_bad_object_rejected () =
+  let store = Store.create () in
+  Alcotest.check_raises "bad object id"
+    (Invalid_argument "Store: bad object id") (fun () ->
+      ignore (Store.get store 7))
+
+let test_finish_unwinds_active_processes () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let sched = Scheduler.create session in
+  let cleanup_ran = ref false in
+  let p =
+    Scheduler.spawn sched (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleanup_ran := true)
+          (fun () ->
+            ignore (Session.mem_op session a Event.Read);
+            ignore (Session.mem_op session a Event.Read)))
+  in
+  ignore (Scheduler.step sched p);
+  ignore (Scheduler.finish sched);
+  (* the pending continuation was discontinued, running finalizers *)
+  Alcotest.(check bool) "finalizer ran on unwind" true !cleanup_ran
+
+let test_trace_pp_smoke () =
+  let session = Session.create () in
+  let a = reg session "a" (Simval.Int 0) in
+  let sched = Scheduler.create session in
+  let p =
+    Scheduler.spawn sched (fun () ->
+        Session.annotate_invoke session ~op:"op" ~arg:(Simval.Int 1);
+        ignore (Session.mem_op session a (Event.Write (Simval.Vec [| Simval.Int 1; Simval.Bot |])));
+        ignore (Session.mem_op session a (Event.Cas { expected = Simval.Bot; desired = Simval.Int 2 }));
+        Session.annotate_return session ~op:"op" ~result:Simval.Bot)
+  in
+  Scheduler.run_solo sched p;
+  let trace = Scheduler.finish sched in
+  let rendered = Fmt.str "%a" Trace.pp trace in
+  Alcotest.(check bool) "pretty-printer produces output" true
+    (String.length rendered > 20)
+
+(* {1 Simval} *)
+
+let test_simval_order () =
+  let open Simval in
+  Alcotest.(check bool) "bot smallest" true (compare_val Bot (Int (-100)) < 0);
+  Alcotest.(check bool) "ints ordered" true (compare_val (Int 1) (Int 2) < 0);
+  Alcotest.(check bool) "max" true (equal (max_val (Int 3) (Int 5)) (Int 5));
+  Alcotest.(check bool) "max with bot" true (equal (max_val Bot (Int 0)) (Int 0));
+  Alcotest.(check bool) "vec equal" true
+    (equal (Vec [| Int 1; Bot |]) (Vec [| Int 1; Bot |]));
+  Alcotest.(check bool) "vec not equal" false
+    (equal (Vec [| Int 1 |]) (Vec [| Int 1; Int 2 |]))
+
+let simval_gen =
+  let open QCheck in
+  let leaf = Gen.oneof [ Gen.return Simval.Bot; Gen.map (fun i -> Simval.Int i) Gen.small_int ] in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      Gen.oneof
+        [ leaf;
+          Gen.map (fun l -> Simval.Vec (Array.of_list l))
+            (Gen.list_size (Gen.int_range 0 3) (tree (depth - 1))) ]
+  in
+  make ~print:Simval.to_string (tree 3)
+
+let prop_equal_reflexive =
+  QCheck.Test.make ~name:"simval equal is reflexive" ~count:200 simval_gen
+    (fun v -> Simval.equal v v)
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"simval compare antisymmetric" ~count:200
+    (QCheck.pair simval_gen simval_gen) (fun (a, b) ->
+      Simval.compare_val a b = -Simval.compare_val b a)
+
+let prop_max_is_upper_bound =
+  QCheck.Test.make ~name:"max_val is an upper bound" ~count:200
+    (QCheck.pair simval_gen simval_gen) (fun (a, b) ->
+      let m = Simval.max_val a b in
+      Simval.compare_val m a >= 0 && Simval.compare_val m b >= 0)
+
+let () =
+  Alcotest.run "memsim"
+    [ ( "store",
+        [ Alcotest.test_case "basic" `Quick test_store_basic;
+          Alcotest.test_case "apply" `Quick test_store_apply;
+          Alcotest.test_case "would_change" `Quick test_store_would_change;
+          Alcotest.test_case "reset" `Quick test_store_reset ] );
+      ( "direct",
+        [ Alcotest.test_case "counts steps" `Quick test_direct_mode_counts_steps ] );
+      ( "scheduler",
+        [ Alcotest.test_case "round robin" `Quick test_round_robin_interleaves;
+          Alcotest.test_case "solo" `Quick test_solo_runs_to_completion;
+          Alcotest.test_case "peek is free" `Quick test_enabled_peek_is_not_a_step;
+          Alcotest.test_case "cas interleaving" `Quick test_scheduler_controls_cas_interleaving;
+          Alcotest.test_case "erase live" `Quick test_erase_live;
+          Alcotest.test_case "annotations" `Quick test_annotations_recorded;
+          Alcotest.test_case "process failure" `Quick test_process_exception_propagates ] );
+      ( "replay",
+        [ Alcotest.test_case "reproduces" `Quick test_replay_reproduces_execution;
+          Alcotest.test_case "erasure" `Quick test_replay_with_erasure;
+          Alcotest.test_case "detects divergence" `Quick test_replay_detects_divergence ] );
+      ( "robustness",
+        [ Alcotest.test_case "nested run" `Quick test_nested_run_rejected;
+          Alcotest.test_case "step finished" `Quick test_step_finished_process_rejected;
+          Alcotest.test_case "bad pid" `Quick test_bad_pid_rejected;
+          Alcotest.test_case "bad object" `Quick test_bad_object_rejected;
+          Alcotest.test_case "finish unwinds" `Quick test_finish_unwinds_active_processes;
+          Alcotest.test_case "trace pp" `Quick test_trace_pp_smoke ] );
+      ( "simval",
+        Alcotest.test_case "order" `Quick test_simval_order
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_equal_reflexive; prop_compare_antisym; prop_max_is_upper_bound ] ) ]
