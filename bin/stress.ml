@@ -13,61 +13,86 @@
 
 open Memsim
 
-let run_maxreg ~impl ~procs ~readers ~value_range ~seed =
+(* A scenario bundles everything needed both to run a random schedule and
+   to replay/shrink it afterwards: deterministic per-pid bodies over one
+   session, plus the linearizability check. *)
+type scenario = {
+  session : Session.t;
+  make_body : int -> unit -> unit;
+  check : Trace.t -> bool;
+}
+
+let scenario_maxreg ~impl ~procs ~readers ~value_range ~seed =
   let session = Session.create () in
   let reg =
     Harness.Annotate.max_register session
       (Harness.Instances.maxreg_sim session ~n:procs ~bound:value_range impl)
   in
   let rng = Random.State.make [| seed |] in
-  let sched = Scheduler.create session in
-  for pid = 0 to procs - 1 do
-    let v = Random.State.int rng value_range in
-    ignore
-      (Scheduler.spawn sched (fun () ->
-           if pid < procs - readers then reg.write_max ~pid v
-           else ignore (reg.read_max ())))
-  done;
-  Scheduler.run_random ~seed ~max_events:1_000_000 sched;
-  let trace = Scheduler.finish sched in
-  Linearize.Checker.check_trace (module Linearize.Spec.Max_register) ~n:procs
-    trace
+  let vals = Array.init procs (fun _ -> Random.State.int rng value_range) in
+  { session;
+    make_body =
+      (fun pid () ->
+        if pid < procs - readers then reg.write_max ~pid vals.(pid)
+        else ignore (reg.read_max ()));
+    check =
+      Linearize.Checker.check_trace (module Linearize.Spec.Max_register)
+        ~n:procs }
 
-let run_counter ~impl ~procs ~readers ~seed =
+let scenario_counter ~impl ~procs ~readers ~seed:_ =
   let session = Session.create () in
   let c =
     Harness.Annotate.counter session
       (Harness.Instances.counter_sim session ~n:procs ~bound:64 impl)
   in
-  let sched = Scheduler.create session in
-  for pid = 0 to procs - 1 do
-    ignore
-      (Scheduler.spawn sched (fun () ->
-           if pid < procs - readers then c.increment ~pid
-           else ignore (c.read ())))
-  done;
-  Scheduler.run_random ~seed ~max_events:1_000_000 sched;
-  let trace = Scheduler.finish sched in
-  Linearize.Checker.check_trace (module Linearize.Spec.Counter) ~n:procs trace
+  { session;
+    make_body =
+      (fun pid () ->
+        if pid < procs - readers then c.increment ~pid else ignore (c.read ()));
+    check =
+      Linearize.Checker.check_trace (module Linearize.Spec.Counter) ~n:procs }
 
-let run_snapshot ~impl ~procs ~readers ~value_range ~seed =
+let scenario_snapshot ~impl ~procs ~readers ~value_range ~seed =
   let session = Session.create () in
   let s =
     Harness.Annotate.snapshot session
       (Harness.Instances.snapshot_sim session ~n:procs impl)
   in
   let rng = Random.State.make [| seed |] in
+  let vals = Array.init procs (fun _ -> 1 + Random.State.int rng value_range) in
+  { session;
+    make_body =
+      (fun pid () ->
+        if pid < procs - readers then s.update ~pid vals.(pid)
+        else ignore (s.scan ()));
+    check =
+      Linearize.Checker.check_trace (module Linearize.Spec.Snapshot) ~n:procs }
+
+(* Run one random schedule; on violation, delta-debug the schedule down to
+   a locally-minimal repro and print it. *)
+let run_seed { session; make_body; check } ~procs ~seed =
   let sched = Scheduler.create session in
   for pid = 0 to procs - 1 do
-    let v = 1 + Random.State.int rng value_range in
-    ignore
-      (Scheduler.spawn sched (fun () ->
-           if pid < procs - readers then s.update ~pid v
-           else ignore (s.scan ())))
+    ignore (Scheduler.spawn sched (make_body pid))
   done;
   Scheduler.run_random ~seed ~max_events:1_000_000 sched;
   let trace = Scheduler.finish sched in
-  Linearize.Checker.check_trace (module Linearize.Spec.Snapshot) ~n:procs trace
+  if check trace then true
+  else begin
+    let minimal, min_trace =
+      Shrink.counterexample session ~n:procs ~make_body ~check
+        (Trace.schedule trace)
+    in
+    Printf.printf
+      "seed %d: VIOLATION; minimized to %d events (from %d).\n\
+       replayable schedule: %s\n"
+      seed
+      (List.length minimal)
+      (List.length (Trace.schedule trace))
+      (String.concat " " (List.map string_of_int minimal));
+    Fmt.pr "%a@." Trace.pp min_trace;
+    false
+  end
 
 let lookup_impl kind impl_name =
   let fail () =
@@ -108,12 +133,14 @@ let stress kind impl_name procs readers seeds value_range =
   | (`Maxreg _ | `Counter _ | `Snapshot _) as target ->
     let violations = ref [] in
     for seed = 1 to seeds do
-      let ok =
+      let scen =
         match target with
-        | `Maxreg i -> run_maxreg ~impl:i ~procs ~readers ~value_range ~seed
-        | `Counter i -> run_counter ~impl:i ~procs ~readers ~seed
-        | `Snapshot i -> run_snapshot ~impl:i ~procs ~readers ~value_range ~seed
+        | `Maxreg i -> scenario_maxreg ~impl:i ~procs ~readers ~value_range ~seed
+        | `Counter i -> scenario_counter ~impl:i ~procs ~readers ~seed
+        | `Snapshot i ->
+          scenario_snapshot ~impl:i ~procs ~readers ~value_range ~seed
       in
+      let ok = run_seed scen ~procs ~seed in
       if not ok then violations := seed :: !violations
     done;
     Printf.printf "%s/%s: %d seeds, %d processes (%d readers): %d violations%s\n"

@@ -30,6 +30,10 @@ val changed_value : t -> bool
 (** [true] iff the event changed the value of the object it accessed
     (the negation of "trivial" in Definition 1, first clause). *)
 
+val prim_writes : prim -> bool
+(** [true] iff the primitive may change the object's value (write or CAS);
+    the static write-like test used by {!Dpor}'s dependence relation. *)
+
 val is_read : t -> bool
 val is_write : t -> bool
 val is_cas : t -> bool

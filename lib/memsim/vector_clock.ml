@@ -1,0 +1,44 @@
+(* Vector clocks over a fixed set of processes.
+
+   The DPOR engine tracks the happens-before relation of an execution with
+   one clock per process and per base object.  Clocks are immutable int
+   arrays indexed by pid: [c.(p)] is the number of p's events known to
+   happen before the point the clock describes.  An event e of process p is
+   therefore identified by the pair (p, local index of e), and
+   "e happens-before point c" is exactly [local index <= c.(p)]. *)
+
+type t = int array
+
+let bottom n = Array.make n 0
+
+let size = Array.length
+
+let get (c : t) p = c.(p)
+
+(* Pointwise max; total function on clocks of equal size. *)
+let join (a : t) (b : t) : t =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.join: size mismatch";
+  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+(* The clock of the point just after process [p] issues its event number
+   [local] (1-based), given clock [c] of the point just before. *)
+let tick (c : t) p ~local : t =
+  let c' = Array.copy c in
+  c'.(p) <- local;
+  c'
+
+let leq (a : t) (b : t) =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.leq: size mismatch";
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+(* Does event ([pid], [local]) happen before the point described by [c]? *)
+let event_leq ~pid ~local (c : t) = local <= c.(pid)
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf (c : t) =
+  Fmt.pf ppf "⟨%a⟩" Fmt.(array ~sep:(any ",") int) c

@@ -1,0 +1,32 @@
+(** Vector clocks over a fixed set of processes, used by {!Dpor} to track
+    the happens-before relation of an execution.
+
+    A clock is an immutable array indexed by pid; [c.(p)] counts the events
+    of process [p] (1-based local indices) that happen before the point the
+    clock describes.  Event [(p, local)] happens before point [c] iff
+    [local <= c.(p)]. *)
+
+type t = private int array
+
+val bottom : int -> t
+(** The all-zero clock over [n] processes (nothing happens before it). *)
+
+val size : t -> int
+val get : t -> int -> int
+
+val join : t -> t -> t
+(** Pointwise maximum.  Raises [Invalid_argument] on size mismatch. *)
+
+val tick : t -> int -> local:int -> t
+(** [tick c p ~local] is the clock just after process [p] issues its event
+    number [local] (1-based), given clock [c] just before it. *)
+
+val leq : t -> t -> bool
+(** Pointwise order. *)
+
+val event_leq : pid:int -> local:int -> t -> bool
+(** Does event [(pid, local)] happen before the point described by the
+    clock? *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
