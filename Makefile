@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-all check bench experiments examples clean doc
+.PHONY: all build test test-all check bench bench-native experiments examples clean doc
 
 all: build
 
@@ -20,6 +20,9 @@ check: test
 
 bench:
 	dune exec bench/main.exe
+
+bench-native:
+	dune exec bin/bench.exe -- -o BENCH_NATIVE.json
 
 # regenerate every experiment table (~4 minutes; EXPERIMENTS.md material)
 experiments:

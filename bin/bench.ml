@@ -1,0 +1,63 @@
+(* bin/bench.exe — the domain-scaling boxed-vs-unboxed benchmark.
+
+     bench [--quick] [--out BENCH_NATIVE.json] [--max-domains P]
+           [--seconds S] [--trials T] [--read-shares 0,50,90,99]
+
+   Prints the throughput table and writes the machine-readable trajectory
+   (schema "bench-native/v1") used by EXPERIMENTS.md and the CI smoke
+   job. *)
+
+open Cmdliner
+
+let run quick out max_domains seconds trials read_shares =
+  let cfg =
+    Benchkit.Bench_native.config ~quick ~max_domains ?seconds ?trials
+      ~read_shares ()
+  in
+  let rows =
+    Benchkit.Bench_native.sweep
+      ~progress:(fun what -> Printf.eprintf "bench: %s\n%!" what)
+      cfg
+  in
+  print_string (Benchkit.Bench_native.table rows);
+  Benchkit.Json_out.to_file out (Benchkit.Bench_native.to_json ~cfg rows);
+  Printf.printf "\nwrote %s (%d rows)\n" out (List.length rows)
+
+let quick =
+  Arg.(value & flag
+       & info [ "quick" ] ~doc:"Single short trial per cell; CI smoke mode.")
+
+let out =
+  Arg.(value
+       & opt string "BENCH_NATIVE.json"
+       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the JSON trajectory.")
+
+let max_domains =
+  Arg.(value & opt int 4
+       & info [ "max-domains" ] ~docv:"P"
+           ~doc:"Sweep domain counts 1,2,4,.. up to $(docv).")
+
+let seconds =
+  Arg.(value & opt (some float) None
+       & info [ "seconds" ] ~docv:"S" ~doc:"Seconds per timed trial.")
+
+let trials =
+  Arg.(value & opt (some int) None
+       & info [ "trials" ] ~docv:"T" ~doc:"Timed trials per cell.")
+
+let read_shares =
+  Arg.(value
+       & opt (list int) [ 0; 50; 90; 99 ]
+       & info [ "read-shares" ] ~docv:"PCTS"
+           ~doc:"Comma-separated read percentages to sweep.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bench" ~version:"1.0"
+       ~doc:
+         "Domain-scaling throughput of the boxed vs unboxed native \
+          backends (PODC'14 reproduction).")
+    Term.(const run $ quick $ out $ max_domains $ seconds $ trials
+          $ read_shares)
+
+let () = exit (Cmd.eval cmd)

@@ -20,3 +20,29 @@ module Make (M : Smem.Memory_intf.MEMORY) = struct
     let c = Simval.int_or ~default:0 (F.read_leaf t pid) in
     F.update t ~leaf:pid (Simval.Int (c + 1))
 end
+
+(* The same counter over the unboxed f-array ({!Farray.Unboxed}): the
+   [bot] sentinel contributes 0 to the sum, and read/increment allocate
+   nothing.  [padded] (default true) puts each tree node on its own cache
+   line — with one leaf per process this is the structure most exposed to
+   false sharing between incrementing domains. *)
+module Unboxed = struct
+  module F = Farray.Unboxed
+
+  type t = F.t
+
+  let bot = F.bot
+
+  let sum a b = (if a = bot then 0 else a) + if b = bot then 0 else b
+
+  let create ?(padded = true) ~n () = F.create ~padded ~n ~combine:sum ()
+
+  let read t =
+    let v = F.read t in
+    if v = bot then 0 else v
+
+  let increment t ~pid =
+    let c = F.read_leaf t pid in
+    let c = if c = bot then 0 else c in
+    F.update t ~leaf:pid (c + 1)
+end

@@ -11,3 +11,14 @@ module Make (M : Smem.Memory_intf.MEMORY) : sig
   val read : t -> int
   (** One shared-memory event. *)
 end
+
+(** The same counter over the unboxed f-array ({!Farray.Unboxed}):
+    identical step counts, zero allocation per read/increment.  [padded]
+    (default true) puts each tree node on its own cache line. *)
+module Unboxed : sig
+  type t
+
+  val create : ?padded:bool -> n:int -> unit -> t
+  val increment : t -> pid:int -> unit
+  val read : t -> int
+end

@@ -4,7 +4,10 @@
    Wall-clock throughput of read-heavy and write-heavy mixes over the max
    registers, and counter read/increment mixes.  The paper's model counts
    steps; this experiment checks that the step-count ordering survives
-   contact with real cache coherence. *)
+   contact with real cache coherence.
+
+   For the full domain-scaling sweep (1..P domains, read-share grid,
+   boxed vs unboxed backends, JSON trajectory) see bin/bench.exe. *)
 
 type row = {
   structure : string;
@@ -14,24 +17,11 @@ type row = {
   ops_per_sec : float;
 }
 
-let run_mix ~domains ~seconds ~(op : int -> int -> unit) =
-  let stop = Atomic.make false in
-  let counts = Array.init domains (fun _ -> Atomic.make 0) in
-  let workers =
-    List.init domains (fun d ->
-        Domain.spawn (fun () ->
-            let i = ref 0 in
-            while not (Atomic.get stop) do
-              op d !i;
-              incr i;
-              Atomic.incr counts.(d)
-            done))
-  in
-  Unix.sleepf seconds;
-  Atomic.set stop true;
-  List.iter Domain.join workers;
-  let total = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 counts in
-  float_of_int total /. seconds
+(* Measurement harness shared with bin/bench.exe: domain-local op counts
+   published once after the stop flag flips, through cache-line-padded
+   slots — the timed loop no longer pays an atomic RMW (or a shared line)
+   per measured operation. *)
+let run_mix = Harness.Throughput.run_mix
 
 let maxreg_rows ~domains ~seconds =
   List.concat_map

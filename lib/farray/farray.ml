@@ -50,3 +50,48 @@ module Make (M : Smem.Memory_intf.MEMORY) = struct
 
   let leaf_depth t i = Treeprim.Tree_shape.depth t.leaves.(i)
 end
+
+(* The same structure over the unboxed backend, specialized to
+   [int Atomic.t] nodes (directly-applied Atomic primitives compile
+   inline; a functor over MEMORY_INT would make every step an indirect
+   call).  Leaves start at the [bot] sentinel instead of [Bot], [combine]
+   works on raw ints, and read/update allocate nothing.  [padded] (the
+   default) gives every node its own cache line, eliminating false sharing
+   between domains updating adjacent leaves. *)
+module Unboxed = struct
+  let bot = Smem.Unboxed_memory.bot
+
+  type t = {
+    root : int Atomic.t Treeprim.Tree_shape.node;
+    leaves : int Atomic.t Treeprim.Tree_shape.node array;
+    combine : int -> int -> int;
+    n : int;
+    refreshes : int;
+  }
+
+  let create ?(refreshes = 2) ?(padded = true) ~n ~combine () =
+    if n <= 0 then invalid_arg "Farray.create: n must be > 0";
+    let mk () =
+      if padded then Smem.Unboxed_memory.Padded.make bot
+      else Smem.Unboxed_memory.make bot
+    in
+    let root, leaves = Treeprim.Tree_shape.complete ~mk ~nleaves:n () in
+    { root; leaves; combine; n; refreshes }
+
+  let n t = t.n
+
+  let read t = Atomic.get t.root.Treeprim.Tree_shape.data
+
+  let read_leaf t i =
+    if i < 0 || i >= t.n then invalid_arg "Farray.read_leaf: bad index";
+    Atomic.get t.leaves.(i).Treeprim.Tree_shape.data
+
+  let update t ~leaf v =
+    if leaf < 0 || leaf >= t.n then invalid_arg "Farray.update: bad index";
+    let node = t.leaves.(leaf) in
+    Atomic.set node.Treeprim.Tree_shape.data v;
+    Treeprim.Propagate.Unboxed.propagate ~refreshes:t.refreshes
+      ~combine:t.combine node
+
+  let leaf_depth t i = Treeprim.Tree_shape.depth t.leaves.(i)
+end

@@ -36,3 +36,29 @@ module Make (M : Smem.Memory_intf.MEMORY) : sig
 
   val leaf_depth : t -> int -> int
 end
+
+(** The same structure over the unboxed backend ({!Smem.Unboxed_memory}),
+    specialized to [int Atomic.t] nodes so the Atomic primitives compile
+    inline: leaves start at the [bot] sentinel, [combine] works on raw
+    ints (interpret [bot] as "no contribution"), and read/update perform
+    no allocation.  [padded] (default true) gives every node its own cache
+    line. *)
+module Unboxed : sig
+  type t
+
+  val bot : int
+
+  val create :
+    ?refreshes:int ->
+    ?padded:bool ->
+    n:int ->
+    combine:(int -> int -> int) ->
+    unit ->
+    t
+
+  val n : t -> int
+  val read : t -> int
+  val read_leaf : t -> int -> int
+  val update : t -> leaf:int -> int -> unit
+  val leaf_depth : t -> int -> int
+end

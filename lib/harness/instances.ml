@@ -125,3 +125,75 @@ let native : (module Smem.Memory_intf.MEMORY) = (module Smem.Atomic_memory)
 let maxreg_native ~n ~bound impl = maxreg_over native ~n ~bound impl
 let counter_native ~n ~bound impl = counter_over native ~n ~bound impl
 let snapshot_native ~n impl = snapshot_over native ~n impl
+
+(* {1 Unboxed snapshot construction over an arbitrary MEMORY_INT}
+
+   The hybrid snapshot keeps its boxed vector inner nodes but is
+   functorized over the leaf-register memory, so it still composes with
+   any MEMORY_INT (including the counting instrumentation).  The maxreg
+   and counter specializations are NOT functorized — they are the direct
+   [Unboxed] modules below — because without flambda the functor
+   indirection costs more than the memory operations themselves. *)
+
+let snapshot_int_over (module M : Smem.Memory_intf.MEMORY_INT) ~n impl :
+    Snapshots.Snapshot.instance option =
+  match impl with
+  | Farray_snapshot ->
+    let module S = Snapshots.Hybrid_snapshot.Make (Smem.Atomic_memory) (M) in
+    Some (Snapshots.Snapshot.instantiate (module S) (S.create ~n))
+  | Double_collect | Afek -> None
+
+(* {1 Native fast-path constructors}
+
+   The direct unboxed implementations (padded cells, inline Atomic
+   primitives): identical algorithms and step counts to the boxed
+   [_native] constructors, zero allocation on the int-valued hot paths,
+   one cache line per base object.  [bound] is accepted for call-site
+   uniformity with the boxed constructors; the specialized implementations
+   are all unbounded. *)
+
+let native_unboxed : (module Smem.Memory_intf.MEMORY_INT) =
+  (module Smem.Unboxed_memory.Padded)
+
+let maxreg_native_fast ~n ~bound impl : Maxreg.Max_register.instance option =
+  ignore bound;
+  match impl with
+  | Algorithm_a ->
+    let module A = Maxreg.Algorithm_a.Unboxed in
+    Some (Maxreg.Max_register.instantiate (module A) (A.create ~n ()))
+  | Algorithm_a_literal ->
+    let module A = Maxreg.Algorithm_a.Unboxed in
+    Some
+      (Maxreg.Max_register.instantiate
+         (module A)
+         (A.create ~literal_early_return:true ~n ()))
+  | B1_maxreg ->
+    let module A = Maxreg.B1_maxreg.Unboxed in
+    Some (Maxreg.Max_register.instantiate (module A) (A.create ()))
+  | Cas_maxreg ->
+    let module A = Maxreg.Cas_maxreg.Unboxed in
+    Some (Maxreg.Max_register.instantiate (module A) (A.create ()))
+  | Aac_maxreg -> None
+
+let counter_native_fast ~n ~bound impl : Counters.Counter.instance option =
+  ignore bound;
+  match impl with
+  | Farray_counter ->
+    let module C = Counters.Farray_counter.Unboxed in
+    Some (Counters.Counter.instantiate (module C) (C.create ~n ()))
+  | Naive_counter ->
+    let module C = Counters.Naive_counter.Unboxed in
+    Some (Counters.Counter.instantiate (module C) (C.create ~n ()))
+  | Snapshot_counter Farray_snapshot ->
+    let module S =
+      Snapshots.Hybrid_snapshot.Make (Smem.Atomic_memory)
+        (Smem.Unboxed_memory.Padded)
+    in
+    let module C = Snapshots.Counter_of_snapshot.Make (S) in
+    let c = C.create ~n (S.create ~n) in
+    Some
+      { Counters.Counter.increment = (fun ~pid -> C.increment c ~pid);
+        read = (fun () -> C.read c) }
+  | Aac_counter | Snapshot_counter (Double_collect | Afek) -> None
+
+let snapshot_native_fast ~n impl = snapshot_int_over native_unboxed ~n impl

@@ -68,3 +68,39 @@ val counter_native :
   n:int -> bound:int -> counter_impl -> Counters.Counter.instance
 
 val snapshot_native : n:int -> snapshot_impl -> Snapshots.Snapshot.instance
+
+(** {1 Unboxed snapshot construction over an arbitrary MEMORY_INT}
+
+    The hybrid snapshot keeps boxed vector inner nodes but is functorized
+    over its leaf-register memory, so it composes with any MEMORY_INT.
+    [None] when the snapshot has no int-leaf specialization (double-collect
+    and Afek are vector-valued throughout).  The maxreg and counter
+    specializations are deliberately not functorized — see
+    {!Maxreg.Algorithm_a.Unboxed} etc. — so they have no [_int_over]
+    constructor; use the [_native_fast] ones below. *)
+
+val snapshot_int_over :
+  (module Smem.Memory_intf.MEMORY_INT) ->
+  n:int -> snapshot_impl -> Snapshots.Snapshot.instance option
+
+(** {1 Native fast-path constructors}
+
+    The direct unboxed implementations (padded cells, inline Atomic
+    primitives): identical algorithms and step counts to the boxed
+    [_native] constructors, but the int-valued hot paths allocate nothing
+    and every base object owns its cache line.  [None] when the
+    implementation has no specialization (the AAC constructions are
+    value-recursive over Simval and stay boxed).  [bound] is accepted for
+    call-site uniformity; the specialized implementations are all
+    unbounded. *)
+
+val native_unboxed : (module Smem.Memory_intf.MEMORY_INT)
+
+val maxreg_native_fast :
+  n:int -> bound:int -> maxreg_impl -> Maxreg.Max_register.instance option
+
+val counter_native_fast :
+  n:int -> bound:int -> counter_impl -> Counters.Counter.instance option
+
+val snapshot_native_fast :
+  n:int -> snapshot_impl -> Snapshots.Snapshot.instance option

@@ -1,0 +1,66 @@
+(* Domain-parallel throughput measurement, shared by experiment E7 and
+   bin/bench.exe.
+
+   Two distortions the obvious loop suffers from, both fixed here:
+
+   - counting through a shared [Atomic.incr] adds an atomic RMW to every
+     measured operation — workers count in a local [int ref] and publish
+     once, after [stop] flips, so the timed loop contains only the
+     operation under test (plus one unavoidable [Atomic.get stop], a
+     read-shared cache line);
+   - per-domain slots that are adjacent fields of one array share cache
+     lines, so even the final publishes (and any future per-op use) ping
+     lines between domains — the publish slots are one padded unboxed
+     register per domain. *)
+
+(* Single-domain measurement runs on the *calling* domain, with a deadline
+   check instead of a watcher domain flipping a stop flag.  This is not an
+   optimization but a correctness point: the OCaml 5 runtime takes a
+   domain-alone fast path for atomic RMWs, and spawning even one watcher
+   domain switches the whole runtime into multi-domain mode, roughly
+   doubling the cost of every CAS/set — the "1 domain" row would then
+   measure runtime mode, not the structure.  The deadline read is amortized
+   over ~1024 operations. *)
+let run_alone ~seconds ~batch ~(op : int -> int -> unit) =
+  let chunk = max 1 (1024 / batch) in
+  let deadline = Unix.gettimeofday () +. seconds in
+  let done_ops = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () < deadline do
+    for _ = 1 to chunk do
+      op 0 !done_ops;
+      done_ops := !done_ops + batch
+    done
+  done;
+  let t1 = Unix.gettimeofday () in
+  float_of_int !done_ops /. (t1 -. t0)
+
+let run_batched ~domains ~seconds ~batch ~(op : int -> int -> unit) =
+  if domains = 1 then run_alone ~seconds ~batch ~op
+  else
+  let stop = Atomic.make false in
+  let counts =
+    Array.init domains (fun d ->
+        Smem.Unboxed_memory.Padded.make ~name:(string_of_int d) 0)
+  in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let done_ops = ref 0 in
+            while not (Atomic.get stop) do
+              op d !done_ops;
+              done_ops := !done_ops + batch
+            done;
+            Smem.Unboxed_memory.Padded.write counts.(d) !done_ops))
+  in
+  Unix.sleepf seconds;
+  Atomic.set stop true;
+  List.iter Domain.join workers;
+  let total =
+    Array.fold_left
+      (fun acc c -> acc + Smem.Unboxed_memory.Padded.read c)
+      0 counts
+  in
+  float_of_int total /. seconds
+
+let run_mix ~domains ~seconds ~op = run_batched ~domains ~seconds ~batch:1 ~op

@@ -1,0 +1,25 @@
+(** Domain-parallel throughput measurement, shared by experiment E7 and
+    [bin/bench.exe].  Workers count completed operations in a domain-local
+    [int ref] and publish once after the stop flag flips, through padded
+    per-domain slots — the timed loop performs no shared-memory traffic
+    beyond the operation under test and the stop-flag read. *)
+
+val run_mix : domains:int -> seconds:float -> op:(int -> int -> unit) -> float
+(** Spawn [domains] domains, each calling [op d i] (domain index, local
+    iteration counter) in a loop for [seconds]; return operations per
+    second summed over domains. *)
+
+val run_batched :
+  domains:int -> seconds:float -> batch:int -> op:(int -> int -> unit) -> float
+(** Like {!run_mix}, but [op d i] is expected to perform [batch]
+    operations itself (indices [i .. i + batch - 1]) and the iteration
+    counter advances by [batch] per call.  Amortizes the stop-flag read
+    and loop bookkeeping across the batch, so sub-10ns operations can be
+    measured without the harness dominating.
+
+    When [domains = 1] the loop runs on the {e calling} domain against a
+    deadline, with no domains spawned: the OCaml 5 runtime takes a
+    domain-alone fast path for atomic RMWs, and a spawned watcher domain
+    would switch the whole runtime into multi-domain mode, roughly
+    doubling the cost of every CAS — the single-domain row would measure
+    runtime mode rather than the structure. *)

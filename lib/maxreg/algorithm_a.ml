@@ -81,3 +81,62 @@ module Make (M : Smem.Memory_intf.MEMORY) = struct
   let tl_leaf_depth t v = Treeprim.Tree_shape.depth t.tl_leaves.(v)
   let tr_leaf_depth t i = Treeprim.Tree_shape.depth t.tr_leaves.(i)
 end
+
+(* The same algorithm over the unboxed backend, specialized to
+   [int Atomic.t] nodes (Atomic primitives compile inline; a functor would
+   make every step an indirect call).  Nodes start at the [bot] sentinel
+   ([min_int]), below every legal value, so [combine] is bare integer max
+   and the whole ReadMax/WriteMax path — including propagation — moves
+   immediate ints only: zero allocation.  [padded] (default true) gives
+   every tree node its own cache line. *)
+module Unboxed = struct
+  let bot = Smem.Unboxed_memory.bot
+
+  type t = {
+    root : int Atomic.t Treeprim.Tree_shape.node;
+    tl_leaves : int Atomic.t Treeprim.Tree_shape.node array;
+    tr_leaves : int Atomic.t Treeprim.Tree_shape.node array;
+    n : int;
+    literal_early_return : bool;
+    refreshes : int;
+  }
+
+  let create ?(literal_early_return = false) ?(tl_shape = `B1)
+      ?(refreshes = 2) ?(padded = true) ~n () =
+    if n <= 0 then invalid_arg "Algorithm_a.create: n must be > 0";
+    let mk () =
+      if padded then Smem.Unboxed_memory.Padded.make bot
+      else Smem.Unboxed_memory.make bot
+    in
+    let tl_root, tl_leaves =
+      match tl_shape with
+      | `B1 -> Treeprim.Tree_shape.b1 ~mk ~nleaves:(max 1 (n - 1))
+      | `Complete -> Treeprim.Tree_shape.complete ~mk ~nleaves:(max 1 (n - 1)) ()
+    in
+    let tr_root, tr_leaves = Treeprim.Tree_shape.complete ~mk ~nleaves:n () in
+    let root = Treeprim.Tree_shape.join ~mk tl_root tr_root in
+    { root; tl_leaves; tr_leaves; n; literal_early_return; refreshes }
+
+  let read_max t =
+    let v = Atomic.get t.root.Treeprim.Tree_shape.data in
+    if v = bot then 0 else v
+
+  let combine a b = if a >= b then a else b
+
+  let write_max t ~pid value =
+    if value < 0 then invalid_arg "Algorithm_a.write_max: negative value";
+    if pid < 0 || pid >= t.n then invalid_arg "Algorithm_a.write_max: bad pid";
+    let in_tl = value < Array.length t.tl_leaves in
+    let leaf = if in_tl then t.tl_leaves.(value) else t.tr_leaves.(pid) in
+    (* [bot] < 0 <= value, so the sentinel needs no special case here *)
+    let old_value = Atomic.get leaf.Treeprim.Tree_shape.data in
+    if value > old_value then begin
+      Atomic.set leaf.Treeprim.Tree_shape.data value;
+      Treeprim.Propagate.Unboxed.propagate ~refreshes:t.refreshes ~combine leaf
+    end
+    else if in_tl && not t.literal_early_return then
+      Treeprim.Propagate.Unboxed.propagate ~refreshes:t.refreshes ~combine leaf
+
+  let tl_leaf_depth t v = Treeprim.Tree_shape.depth t.tl_leaves.(v)
+  let tr_leaf_depth t i = Treeprim.Tree_shape.depth t.tr_leaves.(i)
+end

@@ -45,3 +45,27 @@ module Make (M : Smem.Memory_intf.MEMORY) : sig
   val tr_leaf_depth : t -> int -> int
   (** Depth of process [i]'s leaf in the complete subtree; O(log n). *)
 end
+
+(** The same algorithm over the unboxed backend ({!Smem.Unboxed_memory}),
+    specialized to [int Atomic.t] nodes so the Atomic primitives compile
+    inline: identical structure and step counts, but ReadMax and WriteMax
+    allocate nothing (the [bot] sentinel plays [Bot] and [combine] is bare
+    integer max).  [padded] (default true) gives every tree node its own
+    cache line. *)
+module Unboxed : sig
+  type t
+
+  val create :
+    ?literal_early_return:bool ->
+    ?tl_shape:[ `B1 | `Complete ] ->
+    ?refreshes:int ->
+    ?padded:bool ->
+    n:int ->
+    unit ->
+    t
+
+  val read_max : t -> int
+  val write_max : t -> pid:int -> int -> unit
+  val tl_leaf_depth : t -> int -> int
+  val tr_leaf_depth : t -> int -> int
+end

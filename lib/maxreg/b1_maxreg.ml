@@ -92,3 +92,84 @@ module Make (M : Smem.Memory_intf.MEMORY) = struct
 
   let read_max t = read t.root ~base:0
 end
+
+(* The same register with raw 0/1 [int Atomic.t] switches, read and set by
+   the Atomic primitives directly (inline; through a MEMORY_INT functor
+   each switch probe would be an indirect call).  First touch of a subtree
+   still allocates its nodes (the lazy materialization), but the
+   steady-state read/write recursion over already-forced nodes moves
+   immediate ints only.  [padded] pads each switch to its own cache line;
+   it defaults to false here because a B1 register's hot switches are
+   spread across lazily-allocated spine/group nodes already. *)
+module Unboxed = struct
+  type node =
+    | Value
+    | Split of { switch : int Atomic.t; lo : tree; hi : tree; pivot : int }
+
+  and tree = { cell : node option Atomic.t; make : unit -> node }
+
+  let lazy_tree make = { cell = Atomic.make None; make }
+
+  let force t =
+    match Atomic.get t.cell with
+    | Some n -> n
+    | None ->
+      let n = t.make () in
+      if Atomic.compare_and_set t.cell None (Some n) then n
+      else Option.get (Atomic.get t.cell)
+
+  let rec complete ~mk lo hi =
+    lazy_tree (fun () ->
+        if hi - lo <= 1 then Value
+        else
+          let mid = (lo + hi + 1) / 2 in
+          Split
+            { switch = mk ();
+              lo = complete ~mk lo mid;
+              hi = complete ~mk mid hi;
+              pivot = mid })
+
+  let rec spine ~mk g =
+    lazy_tree (fun () ->
+        let start = (1 lsl g) - 1 in
+        let stop = (1 lsl (g + 1)) - 1 in
+        Split
+          { switch = mk ();
+            lo = complete ~mk start stop;
+            hi = spine ~mk (g + 1);
+            pivot = stop })
+
+  type t = { root : tree }
+
+  let create ?(padded = false) () =
+    let mk () =
+      if padded then Smem.Unboxed_memory.Padded.make 0
+      else Smem.Unboxed_memory.make 0
+    in
+    { root = spine ~mk 0 }
+
+  let switch_set switch = Atomic.get switch = 1
+
+  let rec write tree ~base v =
+    match force tree with
+    | Value -> ()
+    | Split { switch; lo; hi; pivot } ->
+      if v >= pivot then begin
+        write hi ~base:pivot v;
+        Atomic.set switch 1
+      end
+      else if not (switch_set switch) then write lo ~base v
+
+  let rec read tree ~base =
+    match force tree with
+    | Value -> base
+    | Split { switch; lo; hi; pivot } ->
+      if switch_set switch then read hi ~base:pivot else read lo ~base
+
+  let write_max t ~pid v =
+    ignore pid;
+    if v < 0 then invalid_arg "B1_maxreg.write_max: negative value";
+    write t.root ~base:0 v
+
+  let read_max t = read t.root ~base:0
+end

@@ -16,3 +16,16 @@ module Make (M : Smem.Memory_intf.MEMORY) : sig
   val write_max : t -> pid:int -> int -> unit
   (** O(log v) steps; [pid] is ignored (kept for interface uniformity). *)
 end
+
+(** The same register with raw 0/1 [int Atomic.t] switches (see
+    {!Smem.Unboxed_memory}).  First touch of a subtree still allocates
+    (lazy materialization); the steady-state recursion over forced nodes
+    allocates nothing.  [padded] (default false) pads each switch to its
+    own cache line. *)
+module Unboxed : sig
+  type t
+
+  val create : ?padded:bool -> unit -> t
+  val read_max : t -> int
+  val write_max : t -> pid:int -> int -> unit
+end

@@ -24,3 +24,32 @@ module Make (M : Smem.Memory_intf.MEMORY) = struct
     in
     loop ()
 end
+
+(* The same retry loop on a bare [int Atomic.t]: the whole operation is a
+   read, an int compare and an immediate-int CAS — no box per attempt, so
+   contended retries also stop hammering the allocator.  The Atomic
+   primitives are applied directly (inline; through a MEMORY_INT functor
+   each would be an indirect call) and the loop is a top-level
+   self-recursive function: a local [let rec loop ()] would capture [t] and
+   [value] in a fresh closure on every call (no flambda), defeating the
+   zero-allocation guarantee.  [padded] (default true) gives the register
+   its own cache line. *)
+module Unboxed = struct
+  type t = int Atomic.t
+
+  let create ?(padded = true) () =
+    if padded then Smem.Unboxed_memory.Padded.make 0
+    else Smem.Unboxed_memory.make 0
+
+  let read_max (t : t) = Atomic.get t
+
+  let rec cas_loop (t : t) value =
+    let cur = Atomic.get t in
+    if value > cur then
+      if not (Atomic.compare_and_set t cur value) then cas_loop t value
+
+  let write_max t ~pid value =
+    ignore pid;
+    if value < 0 then invalid_arg "Cas_maxreg.write_max: negative value";
+    cas_loop t value
+end

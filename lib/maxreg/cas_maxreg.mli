@@ -11,3 +11,15 @@ module Make (M : Smem.Memory_intf.MEMORY) : sig
   val read_max : t -> int
   val write_max : t -> pid:int -> int -> unit
 end
+
+(** The same retry loop on a bare [int Atomic.t] (see
+    {!Smem.Unboxed_memory}): zero allocation per operation, including
+    failed CAS attempts.  [padded] (default true) gives the register its
+    own cache line. *)
+module Unboxed : sig
+  type t
+
+  val create : ?padded:bool -> unit -> t
+  val read_max : t -> int
+  val write_max : t -> pid:int -> int -> unit
+end

@@ -1,19 +1,14 @@
 (* Native MEMORY over OCaml 5 atomics, for Domain-parallel execution.
+   See the .mli for the physical-CAS/ABA argument. *)
 
-   CAS uses physical equality ([Atomic.compare_and_set]).  All algorithms in
-   this repository only ever CAS with an [expected] value obtained from a
-   prior read of the same object, for which physical CAS coincides with the
-   model's value CAS (values are immutable and, being monotone, never
-   recur, so ABA on structurally-equal-but-distinct boxes cannot arise). *)
+type t = { cell : Memsim.Simval.t Atomic.t; label : string option }
 
-type t = Memsim.Simval.t Atomic.t
+let make ?name init = { cell = Atomic.make init; label = name }
 
-let make ?name init =
-  ignore name;
-  Atomic.make init
+let label t = t.label
 
-let read = Atomic.get
+let read t = Atomic.get t.cell
 
-let write = Atomic.set
+let write t v = Atomic.set t.cell v
 
-let cas obj ~expected ~desired = Atomic.compare_and_set obj expected desired
+let cas t ~expected ~desired = Atomic.compare_and_set t.cell expected desired

@@ -4,22 +4,52 @@
    atomically.  Algorithms are functors over MEMORY so the same code runs on
    the deterministic simulator (step counting, adversarial scheduling,
    linearizability testing) and on OCaml 5 atomics (Domain-parallel
-   benchmarks). *)
+   benchmarks).
 
-module type MEMORY = sig
+   MEMORY is the [Memsim.Simval.t]-valued instance of the general signature
+   MEMORY_GEN; MEMORY_INT is the int-valued instance used by the unboxed
+   native backend, where the paper's initial value "-infinity" ([Bot]) is
+   encoded as a sentinel rather than a constructor so that the hot paths
+   never allocate. *)
+
+module type MEMORY_GEN = sig
+  type value
+  (** The values a base object holds. *)
+
   type t
-  (** A base object holding a {!Memsim.Simval.t}. *)
+  (** A base object. *)
 
-  val make : ?name:string -> Memsim.Simval.t -> t
+  val make : ?name:string -> value -> t
   (** Allocate a base object with an initial value.  Allocation happens when
       an implementation builds its data structure (the initial
       configuration); it is not a step. *)
 
-  val read : t -> Memsim.Simval.t
+  val read : t -> value
 
-  val write : t -> Memsim.Simval.t -> unit
+  val write : t -> value -> unit
 
-  val cas : t -> expected:Memsim.Simval.t -> desired:Memsim.Simval.t -> bool
+  val cas : t -> expected:value -> desired:value -> bool
   (** Compare-and-swap: atomically, if the object's value equals [expected],
       set it to [desired] and return [true]; otherwise return [false]. *)
+end
+
+module type MEMORY = sig
+  (** Base objects holding a {!Memsim.Simval.t}. *)
+
+  include MEMORY_GEN with type value := Memsim.Simval.t
+end
+
+module type MEMORY_INT = sig
+  (** Base objects holding a bare [int] — the unboxed backend.
+
+      [bot] is the sentinel standing in for {!Memsim.Simval.Bot} (the
+      initial "-infinity" of max-register tree nodes).  It is chosen below
+      every value algorithms store, so [max] over raw ints coincides with
+      {!Memsim.Simval.max_val} over the encoded domain. *)
+
+  val bot : int
+  (** Sentinel for "no value written yet"; smaller than every stored
+      value.  Implementations must never write [bot] as a real value. *)
+
+  include MEMORY_GEN with type value := int
 end

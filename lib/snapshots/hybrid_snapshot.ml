@@ -1,0 +1,122 @@
+(* The f-array snapshot with unboxed leaves: internal nodes keep the boxed
+   Simval vectors (the root must hold a whole segment array, which cannot
+   be an immediate), but each single-writer leaf register is an unboxed int
+   holding the writer's (seq, value) pair packed into one word.  An Update
+   therefore touches its own leaf without allocating or false-sharing a
+   cache line with neighbouring writers (instantiate [U] with
+   {!Smem.Unboxed_memory.Padded}); only the propagation into the boxed
+   inner tree allocates.
+
+   Packing: 31 bits of sequence number above 31 bits of value, so packed
+   words are unique per leaf (seq is monotone) and never equal [U.bot] —
+   the no-recurrence/ABA argument of the boxed f-array carries over
+   unchanged at the inner nodes. *)
+
+open Memsim
+
+module Make (B : Smem.Memory_intf.MEMORY) (U : Smem.Memory_intf.MEMORY_INT) =
+struct
+  type payload = Inner of B.t | Leaf of { reg : U.t; mutable pid : int }
+
+  type t = {
+    root : payload Treeprim.Tree_shape.node;
+    leaves : payload Treeprim.Tree_shape.node array;
+    seqs : int array;
+    n : int;
+  }
+
+  let value_bits = 31
+  let value_mask = (1 lsl value_bits) - 1
+  let pack ~seq v = (seq lsl value_bits) lor v
+  let unpack_seq p = p lsr value_bits
+  let unpack_value p = p land value_mask
+
+  let create ~n =
+    if n <= 0 then invalid_arg "Hybrid_snapshot.create: n must be > 0";
+    let mk () = Inner (B.make Simval.Bot) in
+    let mk_leaf () = Leaf { reg = U.make U.bot; pid = -1 } in
+    let root, leaves = Treeprim.Tree_shape.complete ~mk_leaf ~mk ~nleaves:n () in
+    Array.iteri
+      (fun i node ->
+        match node.Treeprim.Tree_shape.data with
+        | Leaf l -> l.pid <- i
+        | Inner _ -> assert false)
+      leaves;
+    { root; leaves; seqs = Array.make n 0; n }
+
+  let items = function
+    | Simval.Bot -> [||]
+    | Simval.Vec triples -> triples
+    | Simval.Int _ -> invalid_arg "Hybrid_snapshot: bad node value"
+
+  (* A child's contribution as a vector of (pid, seq, value) triples: inner
+     nodes hold it directly; a leaf decodes its packed word. *)
+  let child_value = function
+    | None -> Simval.Bot
+    | Some (child : payload Treeprim.Tree_shape.node) -> (
+      match child.Treeprim.Tree_shape.data with
+      | Inner reg -> B.read reg
+      | Leaf { reg; pid } ->
+        let p = U.read reg in
+        if p = U.bot then Simval.Bot
+        else
+          Simval.Vec
+            [| Simval.Vec
+                 [| Simval.Int pid;
+                    Simval.Int (unpack_seq p);
+                    Simval.Int (unpack_value p) |] |])
+
+  let refresh (node : payload Treeprim.Tree_shape.node) =
+    match node.Treeprim.Tree_shape.data with
+    | Leaf _ -> assert false
+    | Inner reg ->
+      let old_value = B.read reg in
+      let l = child_value node.Treeprim.Tree_shape.left in
+      let r = child_value node.Treeprim.Tree_shape.right in
+      let new_value = Simval.Vec (Array.append (items l) (items r)) in
+      ignore (B.cas reg ~expected:old_value ~desired:new_value)
+
+  let rec propagate (node : payload Treeprim.Tree_shape.node) =
+    match node.Treeprim.Tree_shape.parent with
+    | None -> ()
+    | Some parent ->
+      refresh parent;
+      refresh parent;
+      propagate parent
+
+  let update t ~pid v =
+    if pid < 0 || pid >= t.n then invalid_arg "Hybrid_snapshot.update: bad pid";
+    if v < 0 || v > value_mask then
+      invalid_arg "Hybrid_snapshot.update: value out of 31-bit range";
+    t.seqs.(pid) <- t.seqs.(pid) + 1;
+    (match t.leaves.(pid).Treeprim.Tree_shape.data with
+    | Leaf { reg; _ } -> U.write reg (pack ~seq:t.seqs.(pid) v)
+    | Inner _ -> assert false);
+    propagate t.leaves.(pid)
+
+  let scan t =
+    let out = Array.make t.n 0 in
+    let root_value =
+      match t.root.Treeprim.Tree_shape.data with
+      | Inner reg -> B.read reg
+      | Leaf { reg; pid } ->
+        (* n = 1: the root is the single leaf *)
+        let p = U.read reg in
+        if p = U.bot then Simval.Bot
+        else
+          Simval.Vec
+            [| Simval.Vec
+                 [| Simval.Int pid;
+                    Simval.Int (unpack_seq p);
+                    Simval.Int (unpack_value p) |] |]
+    in
+    Array.iter
+      (fun triple ->
+        match triple with
+        | Simval.Vec [| Simval.Int pid; Simval.Int _; Simval.Int v |] ->
+          out.(pid) <- v
+        | Simval.Bot | Simval.Int _ | Simval.Vec _ ->
+          invalid_arg "Hybrid_snapshot: bad triple")
+      (items root_value);
+    out
+end

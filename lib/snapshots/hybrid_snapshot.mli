@@ -1,0 +1,19 @@
+(** The f-array snapshot with unboxed leaves: internal nodes keep boxed
+    Simval vectors (Scan stays one read of the root, returning the whole
+    segment array), but each single-writer leaf is an unboxed int register
+    holding (seq, value) packed into one word — an Update writes its leaf
+    without allocating, and with {!Smem.Unboxed_memory.Padded} leaves,
+    without sharing a cache line with neighbouring writers.
+
+    Values are restricted to 31 bits (the rest of the word carries the
+    sequence stamp that keeps the CAS propagation ABA-free). *)
+
+module Make (B : Smem.Memory_intf.MEMORY) (U : Smem.Memory_intf.MEMORY_INT) : sig
+  type t
+
+  val create : n:int -> t
+  val update : t -> pid:int -> int -> unit
+
+  val scan : t -> int array
+  (** One shared-memory event (a read of the root). *)
+end

@@ -38,3 +38,38 @@ module Make (M : Smem.Memory_intf.MEMORY) = struct
     in
     up leaf
 end
+
+(* The same procedure over the unboxed backend, specialized rather than
+   functorized: nodes are [int Atomic.t] and the memory operations are the
+   Atomic primitives applied directly, which ocamlopt compiles to inline
+   loads/CAS (through a functor they are indirect calls — without flambda
+   that indirection costs more than the operations themselves).  A missing
+   child reads as the [Smem.Unboxed_memory.bot] sentinel and [combine]
+   works on raw ints, so a refresh allocates nothing.  The walk is a
+   top-level self-recursive function (no closure capture) and [refreshes]
+   is mandatory (an optional argument would box [Some refreshes] per
+   call). *)
+module Unboxed = struct
+  let bot = Smem.Unboxed_memory.bot
+
+  let child_value = function
+    | None -> bot
+    | Some (child : int Atomic.t Tree_shape.node) ->
+      Atomic.get child.Tree_shape.data
+
+  let refresh ~combine (node : int Atomic.t Tree_shape.node) =
+    let old_value = Atomic.get node.Tree_shape.data in
+    let l = child_value node.Tree_shape.left in
+    let r = child_value node.Tree_shape.right in
+    let new_value = combine l r in
+    ignore (Atomic.compare_and_set node.Tree_shape.data old_value new_value)
+
+  let rec propagate ~refreshes ~combine (leaf : int Atomic.t Tree_shape.node) =
+    match leaf.Tree_shape.parent with
+    | None -> ()
+    | Some parent ->
+      for _ = 1 to refreshes do
+        refresh ~combine parent
+      done;
+      propagate ~refreshes ~combine parent
+end

@@ -25,3 +25,24 @@ module Make (M : Smem.Memory_intf.MEMORY) : sig
       times each (default 2): O(depth) events.  [refreshes:1] is an ablation
       that admits lost updates (experiment A2); correctness requires 2. *)
 end
+
+(** The same procedure over the unboxed backend ({!Smem.Unboxed_memory}),
+    specialized to [int Atomic.t] nodes so the Atomic primitives compile
+    inline (a functor would make every read/CAS an indirect call).  A
+    missing child reads as the [bot] sentinel, [combine] works on raw
+    ints, and a propagate performs no allocation — [refreshes] is
+    mandatory (an optional argument would box [Some refreshes] at every
+    call without flambda). *)
+module Unboxed : sig
+  val bot : int
+  (** [Smem.Unboxed_memory.bot]. *)
+
+  val refresh :
+    combine:(int -> int -> int) -> int Atomic.t Tree_shape.node -> unit
+
+  val propagate :
+    refreshes:int ->
+    combine:(int -> int -> int) ->
+    int Atomic.t Tree_shape.node ->
+    unit
+end
