@@ -5,8 +5,23 @@
    O(1)-read structures is measured honestly: same algorithms, same step
    counts, only the base-object representation changes.
 
+   Each cell runs two kinds of pass:
+
+   - throughput trials over the plain fused closures (no clocks, no
+     metrics in the loop — the numbers of record), timed by
+     {!Harness.Throughput.run_batched}'s measured barrier->stop-ack
+     window;
+   - a latency pass clocking the same fused closures per batched call
+     into per-domain log-bucketed histograms (both backends, so the
+     percentiles compare like the throughput medians do);
+   - on the unboxed backend, a metrics pass running the workload through
+     the instrumented instances of {!Harness.Instances} to collect
+     contention counts (CAS attempts/failures, refresh rounds, helps).
+     All passes are separate so the observability layer can never bias
+     the throughput rows.
+
    Results are emitted both as a table (stdout) and as machine-readable
-   JSON (BENCH_NATIVE.json, schema "bench-native/v1") so future changes
+   JSON (BENCH_NATIVE.json, schema "bench-native/v2") so future changes
    have a perf trajectory to regress against. *)
 
 type config = {
@@ -37,6 +52,13 @@ type row = {
   read_pct : int;
   mops : float;        (* median over trials *)
   trial_mops : float list;
+  (* metered pass *)
+  lat_p50 : float;     (* ns per op *)
+  lat_p95 : float;
+  lat_p99 : float;
+  lat_max : float;
+  lat_samples : int;   (* batched-call samples behind the percentiles *)
+  metrics : Obs.Metrics.totals option;  (* None on the boxed backend *)
 }
 
 (* {1 Workload construction}
@@ -59,7 +81,10 @@ type row = {
 
    The modules measured are exactly the ones the registry
    ({!Harness.Instances.maxreg_native} / [_native_fast]) hands out; only
-   the call path is flattened here. *)
+   the call path is flattened here.  The metered pass, by contrast, goes
+   through the registry's [_native_metered] instances — indirect calls,
+   which is fine: its numbers are distributions and counts, not the
+   throughput of record. *)
 
 let pattern_slots = 128
 let mask = pattern_slots - 1
@@ -74,9 +99,14 @@ let read_pattern ~read_pct =
   Array.init pattern_slots (fun i ->
       ((i + 1) * reads / pattern_slots) - (i * reads / pattern_slots) = 1)
 
+type kind =
+  | Maxreg of Harness.Instances.maxreg_impl
+  | Counter of Harness.Instances.counter_impl
+
 type target = {
   structure : string;
   impl_name : string;
+  kind : kind;
   mk :
     backend:[ `Boxed | `Unboxed ] ->
     n:int ->
@@ -103,6 +133,7 @@ module NU = Counters.Naive_counter.Unboxed
 let alg_a_target =
   { structure = "max-register";
     impl_name = Harness.Instances.maxreg_name Harness.Instances.Algorithm_a;
+    kind = Maxreg Harness.Instances.Algorithm_a;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
         match backend with
@@ -128,6 +159,7 @@ let alg_a_target =
 let b1_target =
   { structure = "max-register";
     impl_name = Harness.Instances.maxreg_name Harness.Instances.B1_maxreg;
+    kind = Maxreg Harness.Instances.B1_maxreg;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
         match backend with
@@ -154,6 +186,7 @@ let b1_target =
 let cas_target =
   { structure = "max-register";
     impl_name = Harness.Instances.maxreg_name Harness.Instances.Cas_maxreg;
+    kind = Maxreg Harness.Instances.Cas_maxreg;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
         match backend with
@@ -181,6 +214,7 @@ let farray_target =
   { structure = "counter";
     impl_name =
       Harness.Instances.counter_name Harness.Instances.Farray_counter;
+    kind = Counter Harness.Instances.Farray_counter;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
         ignore domains;
@@ -205,6 +239,7 @@ let farray_target =
 let naive_target =
   { structure = "counter";
     impl_name = Harness.Instances.counter_name Harness.Instances.Naive_counter;
+    kind = Counter Harness.Instances.Naive_counter;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
         ignore domains;
@@ -229,12 +264,51 @@ let naive_target =
 let targets =
   [ alg_a_target; b1_target; cas_target; farray_target; naive_target ]
 
+(* The metered closure: the same workload through the instrumented
+   registry instances, recording [Op_read] per read here (the instance
+   wrappers record [Op_update]; reads carry no pid so the domain-correct
+   shard is only known at this call site). *)
+let metered_op ~metrics ~kind ~n ~domains ~pattern =
+  let bound = 1 lsl 20 in
+  match kind with
+  | Maxreg impl ->
+    let inst =
+      Option.get (Harness.Instances.maxreg_native_metered ~metrics ~n ~bound impl)
+    in
+    fun d i0 ->
+      for k = 0 to batch - 1 do
+        let i = i0 + k in
+        if Array.unsafe_get pattern (i land mask) then begin
+          Obs.Metrics.incr metrics ~domain:d Obs.Metrics.Op_read;
+          ignore (inst.Maxreg.Max_register.read_max () : int)
+        end
+        else inst.Maxreg.Max_register.write_max ~pid:d ((i * domains) + d)
+      done
+  | Counter impl ->
+    let inst =
+      Option.get (Harness.Instances.counter_native_metered ~metrics ~n ~bound impl)
+    in
+    fun d i0 ->
+      for k = 0 to batch - 1 do
+        if Array.unsafe_get pattern ((i0 + k) land mask) then begin
+          Obs.Metrics.incr metrics ~domain:d Obs.Metrics.Op_read;
+          ignore (inst.Counters.Counter.read () : int)
+        end
+        else inst.Counters.Counter.increment ~pid:d
+      done
+
+(* Trials can in principle produce NaN (a degenerate measurement window);
+   drop non-finite samples before sorting — NaN has no consistent order
+   under [compare], so it can scramble the sort — and average the two
+   middle elements on even length.  (Taking the upper-middle element
+   alone, as before, biased every even-trial-count median high.) *)
 let median xs =
-  match List.sort compare xs with
+  match List.sort Float.compare (List.filter Float.is_finite xs) with
   | [] -> nan
   | sorted ->
     let n = List.length sorted in
-    List.nth sorted (n / 2)
+    if n mod 2 = 1 then List.nth sorted (n / 2)
+    else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
 
 let backend_name = function `Boxed -> "boxed" | `Unboxed -> "unboxed"
 
@@ -246,15 +320,44 @@ let structure_n cfg = List.fold_left max 1 cfg.domain_counts
 
 let cell ~cfg ~target ~backend ~domains ~read_pct =
   let pattern = read_pattern ~read_pct in
-  let op = target.mk ~backend ~n:(structure_n cfg) ~domains ~pattern in
+  let n = structure_n cfg in
+  let op = target.mk ~backend ~n ~domains ~pattern in
   ignore
     (Harness.Throughput.run_batched ~domains ~seconds:cfg.warmup_seconds
-       ~batch ~op
+       ~batch ~op ()
       : float);
   let trial_mops =
     List.init cfg.trials (fun _ ->
-        Harness.Throughput.run_batched ~domains ~seconds:cfg.seconds ~batch ~op
+        Harness.Throughput.run_batched ~domains ~seconds:cfg.seconds ~batch ~op ()
         /. 1e6)
+  in
+  (* Latency pass: clock around the *same* fused closure on both backends,
+     so the percentiles compare like the throughput numbers do. *)
+  let hists = Array.init domains (fun _ -> Obs.Histogram.create ()) in
+  ignore
+    (Harness.Throughput.run_batched_latency ~domains ~seconds:cfg.seconds
+       ~batch ~hist:hists ~op ()
+      : float);
+  (* Metrics pass (unboxed only): the same workload through the
+     instrumented registry instances.  Separate from the latency pass so
+     the record sites and the instances' indirect calls never sit inside
+     the clocked window. *)
+  let metrics =
+    match backend with
+    | `Boxed -> None
+    | `Unboxed ->
+      let metrics = Obs.Metrics.create ~domains () in
+      let op_m = metered_op ~metrics ~kind:target.kind ~n ~domains ~pattern in
+      ignore
+        (Harness.Throughput.run_batched ~domains ~seconds:cfg.seconds ~batch
+           ~op:op_m ()
+          : float);
+      Some (Obs.Metrics.totals metrics)
+  in
+  let h =
+    Array.fold_left
+      (fun acc h -> Obs.Histogram.merge acc h)
+      (Obs.Histogram.create ()) hists
   in
   { structure = target.structure;
     impl = target.impl_name;
@@ -262,7 +365,13 @@ let cell ~cfg ~target ~backend ~domains ~read_pct =
     domains;
     read_pct;
     mops = median trial_mops;
-    trial_mops }
+    trial_mops;
+    lat_p50 = Obs.Histogram.percentile h 50.;
+    lat_p95 = Obs.Histogram.percentile h 95.;
+    lat_p99 = Obs.Histogram.percentile h 99.;
+    lat_max = float_of_int (Obs.Histogram.max_value h);
+    lat_samples = Obs.Histogram.count h;
+    metrics }
 
 let sweep ?(progress = fun _ -> ()) cfg =
   List.concat_map
@@ -288,16 +397,34 @@ let table rows =
   Harness.Tables.render
     ~title:
       "Native domain-scaling throughput: boxed (Simval Atomic) vs unboxed \
-       (padded int Atomic) backends (Mops/s, median of trials)"
+       (padded int Atomic) backends (Mops/s, median of trials; latency \
+       percentiles and CAS failure rate from the metered pass)"
     ~header:
-      [ "structure"; "impl"; "backend"; "domains"; "read%"; "Mops/s" ]
+      [ "structure"; "impl"; "backend"; "domains"; "read%"; "Mops/s";
+        "p50ns"; "p99ns"; "cas-fail%" ]
     (List.map
        (fun (r : row) ->
          [ r.structure; r.impl; r.backend; string_of_int r.domains;
-           string_of_int r.read_pct; Printf.sprintf "%.2f" r.mops ])
+           string_of_int r.read_pct; Printf.sprintf "%.2f" r.mops;
+           Printf.sprintf "%.0f" r.lat_p50;
+           Printf.sprintf "%.0f" r.lat_p99;
+           (match r.metrics with
+            | None -> "-"
+            | Some m ->
+              Printf.sprintf "%.1f" (100. *. Obs.Metrics.cas_failure_rate m)) ])
        rows)
 
-let schema_version = "bench-native/v1"
+let schema_version = "bench-native/v2"
+
+let metrics_json (m : Obs.Metrics.totals) =
+  Obs.Json_out.Obj
+    [ ("cas_attempts", Obs.Json_out.Int m.cas_attempts);
+      ("cas_failures", Obs.Json_out.Int m.cas_failures);
+      ("cas_failure_rate", Obs.Json_out.Float (Obs.Metrics.cas_failure_rate m));
+      ("refresh_rounds", Obs.Json_out.Int m.refresh_rounds);
+      ("helps", Obs.Json_out.Int m.helps);
+      ("op_reads", Obs.Json_out.Int m.op_reads);
+      ("op_updates", Obs.Json_out.Int m.op_updates) ]
 
 let to_json ~cfg rows =
   Json_out.Obj
@@ -318,7 +445,8 @@ let to_json ~cfg rows =
               Json_out.List (List.map (fun s -> Json_out.Int s) cfg.read_shares) );
             ("seconds_per_trial", Json_out.Float cfg.seconds);
             ("warmup_seconds", Json_out.Float cfg.warmup_seconds);
-            ("trials", Json_out.Int cfg.trials) ] );
+            ("trials", Json_out.Int cfg.trials);
+            ("batch", Json_out.Int batch) ] );
       ( "rows",
         Json_out.List
           (List.map
@@ -332,5 +460,16 @@ let to_json ~cfg rows =
                    ("mops", Json_out.Float r.mops);
                    ( "trial_mops",
                      Json_out.List
-                       (List.map (fun m -> Json_out.Float m) r.trial_mops) ) ])
+                       (List.map (fun m -> Json_out.Float m) r.trial_mops) );
+                   ( "latency_ns",
+                     Json_out.Obj
+                       [ ("p50", Json_out.Float r.lat_p50);
+                         ("p95", Json_out.Float r.lat_p95);
+                         ("p99", Json_out.Float r.lat_p99);
+                         ("max", Json_out.Float r.lat_max);
+                         ("samples", Json_out.Int r.lat_samples) ] );
+                   ( "metrics",
+                     match r.metrics with
+                     | None -> Json_out.Null
+                     | Some m -> metrics_json m ) ])
              rows) ) ]

@@ -1,82 +1,5 @@
-(* A minimal JSON value and printer — enough for BENCH_NATIVE.json without
-   pulling a JSON dependency into the sealed container.  Strings are
-   escaped per RFC 8259; non-finite floats become [null] (JSON has no
-   representation for them). *)
+(* The JSON value/printer/parser now lives in {!Obs.Json_out} (the trace
+   exporter needs it below the bench layer); this alias keeps the
+   historical [Benchkit.Json_out] path working for existing callers. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let rec write buf ~indent ~level v =
-  let pad n = String.make (n * indent) ' ' in
-  match v with
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (string_of_bool b)
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
-    else Buffer.add_string buf "null"
-  | Str s ->
-    Buffer.add_char buf '"';
-    Buffer.add_string buf (escape s);
-    Buffer.add_char buf '"'
-  | List [] -> Buffer.add_string buf "[]"
-  | List items ->
-    Buffer.add_string buf "[\n";
-    List.iteri
-      (fun i item ->
-        if i > 0 then Buffer.add_string buf ",\n";
-        Buffer.add_string buf (pad (level + 1));
-        write buf ~indent ~level:(level + 1) item)
-      items;
-    Buffer.add_char buf '\n';
-    Buffer.add_string buf (pad level);
-    Buffer.add_char buf ']'
-  | Obj [] -> Buffer.add_string buf "{}"
-  | Obj fields ->
-    Buffer.add_string buf "{\n";
-    List.iteri
-      (fun i (k, item) ->
-        if i > 0 then Buffer.add_string buf ",\n";
-        Buffer.add_string buf (pad (level + 1));
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (escape k);
-        Buffer.add_string buf "\": ";
-        write buf ~indent ~level:(level + 1) item)
-      fields;
-    Buffer.add_char buf '\n';
-    Buffer.add_string buf (pad level);
-    Buffer.add_char buf '}'
-
-let to_string v =
-  let buf = Buffer.create 4096 in
-  write buf ~indent:2 ~level:0 v;
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
-
-let to_file path v =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string v))
+include Obs.Json_out

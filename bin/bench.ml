@@ -4,8 +4,9 @@
            [--seconds S] [--trials T] [--read-shares 0,50,90,99]
 
    Prints the throughput table and writes the machine-readable trajectory
-   (schema "bench-native/v1") used by EXPERIMENTS.md and the CI smoke
-   job. *)
+   (schema "bench-native/v2": median throughput, latency percentiles from
+   the metered pass, and contention metrics for the unboxed backend) used
+   by EXPERIMENTS.md and the CI smoke job. *)
 
 open Cmdliner
 

@@ -3,62 +3,115 @@
      repro e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | f4 | all
 
    Sizes are chosen so `repro all` completes in a couple of minutes; pass
-   --quick for a fast smoke pass. *)
+   --quick for a fast smoke pass.  `--trace out.json` additionally dumps a
+   Chrome trace_event file of a simulated execution (currently emitted by
+   e4's Theorem 1 adversary; load it in chrome://tracing or Perfetto). *)
 
-let experiments : (string * string * (quick:bool -> string)) list =
+(* Experiments that run in the simulator can export an execution trace;
+   [trace_out] is the --trace destination (most experiments ignore it with
+   a note to stderr). *)
+let no_trace trace_out =
+  Option.iter
+    (fun _ ->
+      Printf.eprintf
+        "repro: --trace is only emitted by e4 (the Theorem 1 adversary); \
+         ignoring\n\
+         %!")
+    trace_out
+
+let experiments :
+    (string * string * (quick:bool -> trace_out:string option -> string)) list =
   [ ( "e1", "max-register step complexity (Theorem 6 vs AAC)",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
+        no_trace trace_out;
         let ns = if quick then [ 16; 64 ] else [ 16; 64; 256; 1024; 4096 ] in
         Experiments.E1_maxreg_steps.run ~ns () );
     ( "e2", "counter step complexity envelopes",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
+        no_trace trace_out;
         let ns = if quick then [ 4; 16 ] else [ 4; 16; 64; 256; 1024 ] in
         Experiments.E2_counter_steps.run ~ns () );
     ( "e3", "snapshot step complexity envelopes",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
+        no_trace trace_out;
         let ns = if quick then [ 4; 16 ] else [ 4; 16; 64; 256; 1024 ] in
         Experiments.E3_snapshot_steps.run ~ns () );
     ( "e4", "Theorem 1 adversary: rounds vs log3(N/f(N))",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
         let ns = if quick then [ 8; 16 ] else [ 8; 16; 32; 64; 128; 256 ] in
-        Experiments.E4_theorem1.run ~ns () );
+        match trace_out with
+        | None -> Experiments.E4_theorem1.run ~ns ()
+        | Some path ->
+          (* keep the first (smallest-N, first-impl) execution: it is the
+             one a human can still read in a trace viewer *)
+          let saved = ref false in
+          let on_trace trace =
+            if not !saved then begin
+              saved := true;
+              Obs.Trace_export.to_file ~name:"theorem1-adversary" path trace
+            end
+          in
+          let out = Experiments.E4_theorem1.run ~on_trace ~ns () in
+          out ^ Printf.sprintf "\nwrote Chrome trace to %s\n" path );
     ( "e5", "Theorem 3 adversary: essential-set iterations (Figs. 1-3)",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
+        no_trace trace_out;
         let ks = if quick then [ 16; 64 ] else [ 16; 64; 256; 1024; 4096; 16384 ] in
         Experiments.E5_theorem3.run ~ks () );
     ( "e6", "linearizability sweep (Theorem 5 + the line-16 finding)",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
+        no_trace trace_out;
         let schedules = if quick then 50 else 400 in
         Experiments.E6_linearizability.run ~schedules () );
     ( "e7", "native multi-domain throughput (the O(1)-read payoff)",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
+        no_trace trace_out;
         let seconds = if quick then 0.1 else 0.5 in
         Experiments.E7_native.run ~seconds () );
     ( "e8", "Lemma 1 growth profile + the Definition 1 visibility finding",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
+        no_trace trace_out;
         let n = if quick then 16 else 48 in
         Experiments.E8_lemma1.run ~n () );
     ( "e9", "liveness audit: wait-freedom vs interference",
-      fun ~quick -> ignore quick; Experiments.E9_liveness.run () );
+      fun ~quick ~trace_out ->
+        ignore quick;
+        no_trace trace_out;
+        Experiments.E9_liveness.run () );
     ( "e10", "workload crossovers: where each side of the tradeoff wins",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
+        no_trace trace_out;
         let seconds = if quick then 0.1 else 0.3 in
         Experiments.E10_crossover.run ~seconds () );
     ( "f4", "Figure 4 data-structure audit",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
+        no_trace trace_out;
         let n = if quick then 64 else 1024 in
         Experiments.F4_structure.run ~n () );
     ( "a1", "ablation: B1 vs complete left subtree in Algorithm A",
-      fun ~quick ->
+      fun ~quick ~trace_out ->
+        no_trace trace_out;
         let ns = if quick then [ 64; 1024 ] else [ 64; 1024; 16384 ] in
         Experiments.A1_b1_ablation.run ~ns () );
     ( "a2", "ablation: double vs single refresh (exhaustive interleavings)",
-      fun ~quick -> ignore quick; Experiments.A2_refresh_ablation.run () ) ]
+      fun ~quick ~trace_out ->
+        ignore quick;
+        no_trace trace_out;
+        Experiments.A2_refresh_ablation.run () ) ]
 
 open Cmdliner
 
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps, faster run.")
+
+let trace_out =
+  Arg.(value
+       & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:
+             "Write a Chrome trace_event JSON of a simulated execution to \
+              $(docv) (open in chrome://tracing or ui.perfetto.dev).  \
+              Currently emitted by e4; other experiments note and ignore it.")
 
 let setup_logs =
   let setup style_renderer level =
@@ -69,26 +122,27 @@ let setup_logs =
   Term.(const setup $ Fmt_cli.style_renderer () $ Logs_cli.level ())
 
 let run_one name descr f =
-  let action () q =
-    print_string (f ~quick:q);
+  let action () q t =
+    print_string (f ~quick:q ~trace_out:t);
     print_newline ()
   in
   Cmd.v
     (Cmd.info name ~doc:descr)
-    Term.(const action $ setup_logs $ quick)
+    Term.(const action $ setup_logs $ quick $ trace_out)
 
 let all_cmd =
-  let action () q =
+  let action () q t =
     List.iter
       (fun (name, _, f) ->
         Printf.printf "=== %s ===\n%!" name;
-        print_string (f ~quick:q);
+        (* only e4 consumes --trace; silence the per-experiment note *)
+        print_string (f ~quick:q ~trace_out:(if name = "e4" then t else None));
         print_newline ())
       experiments
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in sequence.")
-    Term.(const action $ setup_logs $ quick)
+    Term.(const action $ setup_logs $ quick $ trace_out)
 
 let () =
   let cmds = List.map (fun (n, d, f) -> run_one n d f) experiments @ [ all_cmd ] in

@@ -69,7 +69,9 @@ let scenario_snapshot ~impl ~procs ~readers ~value_range ~seed =
       Linearize.Checker.check_trace (module Linearize.Spec.Snapshot) ~n:procs }
 
 (* Run one random schedule; on violation, delta-debug the schedule down to
-   a locally-minimal repro and print it. *)
+   a locally-minimal repro and print it.  Returns whether the seed passed
+   plus the trace worth keeping for --trace export: the minimized violating
+   execution, or the full passing one. *)
 let run_seed { session; make_body; check } ~procs ~seed =
   let sched = Scheduler.create session in
   for pid = 0 to procs - 1 do
@@ -77,7 +79,7 @@ let run_seed { session; make_body; check } ~procs ~seed =
   done;
   Scheduler.run_random ~seed ~max_events:1_000_000 sched;
   let trace = Scheduler.finish sched in
-  if check trace then true
+  if check trace then (true, trace)
   else begin
     let minimal, min_trace =
       Shrink.counterexample session ~n:procs ~make_body ~check
@@ -91,7 +93,7 @@ let run_seed { session; make_body; check } ~procs ~seed =
       (List.length (Trace.schedule trace))
       (String.concat " " (List.map string_of_int minimal));
     Fmt.pr "%a@." Trace.pp min_trace;
-    false
+    (false, min_trace)
   end
 
 let lookup_impl kind impl_name =
@@ -127,11 +129,16 @@ let lookup_impl kind impl_name =
     | None -> fail ())
   | _ -> `Error (false, Printf.sprintf "unknown object kind %S" kind)
 
-let stress kind impl_name procs readers seeds value_range =
+let stress kind impl_name procs readers seeds value_range trace_file =
   match lookup_impl kind impl_name with
   | `Error _ as e -> e
   | (`Maxreg _ | `Counter _ | `Snapshot _) as target ->
     let violations = ref [] in
+    (* For --trace: the first minimized violating execution wins (that is
+       the one worth staring at in a viewer); otherwise the last passing
+       seed's trace, so the flag always produces a file. *)
+    let violation_trace = ref None in
+    let last_trace = ref None in
     for seed = 1 to seeds do
       let scen =
         match target with
@@ -140,8 +147,12 @@ let stress kind impl_name procs readers seeds value_range =
         | `Snapshot i ->
           scenario_snapshot ~impl:i ~procs ~readers ~value_range ~seed
       in
-      let ok = run_seed scen ~procs ~seed in
-      if not ok then violations := seed :: !violations
+      let ok, trace = run_seed scen ~procs ~seed in
+      if ok then last_trace := Some trace
+      else begin
+        violations := seed :: !violations;
+        if !violation_trace = None then violation_trace := Some trace
+      end
     done;
     Printf.printf "%s/%s: %d seeds, %d processes (%d readers): %d violations%s\n"
       kind impl_name seeds procs readers
@@ -151,6 +162,23 @@ let stress kind impl_name procs readers seeds value_range =
        | vs ->
          " at seeds "
          ^ String.concat ", " (List.map string_of_int (List.rev vs)));
+    (match trace_file with
+     | None -> ()
+     | Some path -> (
+       match (!violation_trace, !last_trace) with
+       | Some t, _ ->
+         Obs.Trace_export.to_file
+           ~name:(Printf.sprintf "%s/%s minimized violation" kind impl_name)
+           path t;
+         Printf.printf "wrote Chrome trace of the minimized violation to %s\n"
+           path
+       | None, Some t ->
+         Obs.Trace_export.to_file
+           ~name:(Printf.sprintf "%s/%s (no violation; last seed)" kind impl_name)
+           path t;
+         Printf.printf "wrote Chrome trace of the last (passing) seed to %s\n"
+           path
+       | None, None -> ()));
     if !violations = [] then `Ok () else `Error (false, "violations found")
 
 open Cmdliner
@@ -183,12 +211,22 @@ let seeds =
 let value_range =
   Arg.(value & opt int 8 & info [ "values" ] ~doc:"Operand range (small ranges provoke duplicate-value races).")
 
+let trace_file =
+  Arg.(value
+       & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:
+             "Write a Chrome trace_event JSON to $(docv): the minimized \
+              violating execution if any seed fails, else the last seed's \
+              execution.  Open in chrome://tracing or ui.perfetto.dev.")
+
 let cmd =
   Cmd.v
     (Cmd.info "stress" ~version:"1.0"
        ~doc:
          "Randomized linearizability stress tests for the PODC'14 \
           restricted-use objects.")
-    Term.(ret (const stress $ kind $ impl_name $ procs $ readers $ seeds $ value_range))
+    Term.(ret (const stress $ kind $ impl_name $ procs $ readers $ seeds
+               $ value_range $ trace_file))
 
 let () = exit (Cmd.eval cmd)

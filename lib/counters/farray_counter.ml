@@ -45,4 +45,11 @@ module Unboxed = struct
     let c = F.read_leaf t pid in
     let c = if c = bot then 0 else c in
     F.update t ~leaf:pid (c + 1)
+
+  (* [increment] through the metered f-array update: propagation refresh
+     rounds and CAS outcomes recorded under shard [pid]. *)
+  let increment_metered t ~metrics ~pid =
+    let c = F.read_leaf t pid in
+    let c = if c = bot then 0 else c in
+    F.update_metered t ~metrics ~domain:pid ~leaf:pid (c + 1)
 end

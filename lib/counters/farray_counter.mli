@@ -20,5 +20,10 @@ module Unboxed : sig
 
   val create : ?padded:bool -> n:int -> unit -> t
   val increment : t -> pid:int -> unit
+
+  val increment_metered : t -> metrics:Obs.Metrics.t -> pid:int -> unit
+  (** [increment] with propagation refresh rounds and CAS outcomes
+      recorded under shard [pid]; free with {!Obs.Metrics.disabled}. *)
+
   val read : t -> int
 end

@@ -12,17 +12,17 @@ let f_of impl n =
   let r = E2_counter_steps.measure impl ~n in
   r.E2_counter_steps.read_steps
 
-let sweep ?(ns = [ 8; 16; 32; 64; 128 ]) () =
+let sweep ?on_trace ?(ns = [ 8; 16; 32; 64; 128 ]) () =
   List.concat_map
     (fun n ->
       List.map
         (fun impl ->
           let f_n = f_of impl n in
-          Lowerbound.Theorem1.run
+          Lowerbound.Theorem1.run ?on_trace
             ~impl:(Harness.Instances.counter_name impl)
             ~make_counter:(fun session ~n ->
               Harness.Instances.counter_sim session ~n ~bound:(4 * n) impl)
-            ~n ~f_n)
+            ~n ~f_n ())
         [ Harness.Instances.Farray_counter;
           Harness.Instances.Aac_counter;
           Harness.Instances.Naive_counter;
@@ -49,4 +49,4 @@ let table rows =
            string_of_bool r.lemma3_ok ])
        rows)
 
-let run ?ns () = table (sweep ?ns ())
+let run ?on_trace ?ns () = table (sweep ?on_trace ?ns ())

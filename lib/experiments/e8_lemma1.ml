@@ -22,7 +22,7 @@ let growth_rows ~n =
       ~make_counter:(fun session ~n ->
         Harness.Instances.counter_sim session ~n ~bound:(4 * n)
           Harness.Instances.Farray_counter)
-      ~n ~f_n:1
+      ~n ~f_n:1 ()
   in
   let rec rows round prev = function
     | [] -> []

@@ -93,5 +93,18 @@ module Unboxed = struct
     Treeprim.Propagate.Unboxed.propagate ~refreshes:t.refreshes
       ~combine:t.combine node
 
+  (* [update] with the metered propagate: refresh rounds and CAS outcomes
+     land in [metrics] under shard [domain] (the calling pid).  A disabled
+     handle delegates to the plain [update] after one inlined field test. *)
+  let update_metered t ~metrics ~domain ~leaf v =
+    if not metrics.Obs.Metrics.enabled then update t ~leaf v
+    else begin
+      if leaf < 0 || leaf >= t.n then invalid_arg "Farray.update: bad index";
+      let node = t.leaves.(leaf) in
+      Atomic.set node.Treeprim.Tree_shape.data v;
+      Treeprim.Propagate.Unboxed.propagate_metered ~metrics ~domain
+        ~refreshes:t.refreshes ~combine:t.combine node
+    end
+
   let leaf_depth t i = Treeprim.Tree_shape.depth t.leaves.(i)
 end

@@ -60,5 +60,12 @@ module Unboxed : sig
   val read : t -> int
   val read_leaf : t -> int -> int
   val update : t -> leaf:int -> int -> unit
+
+  val update_metered :
+    t -> metrics:Obs.Metrics.t -> domain:int -> leaf:int -> int -> unit
+  (** [update] with refresh rounds and CAS outcomes recorded under shard
+      [domain] (pass the calling pid); free with
+      {!Obs.Metrics.disabled}. *)
+
   val leaf_depth : t -> int -> int
 end

@@ -197,3 +197,83 @@ let counter_native_fast ~n ~bound impl : Counters.Counter.instance option =
   | Aac_counter | Snapshot_counter (Double_collect | Afek) -> None
 
 let snapshot_native_fast ~n impl = snapshot_int_over native_unboxed ~n impl
+
+(* {1 Metered (instrumented) native constructors}
+
+   The same unboxed fast-path implementations, with contention
+   observability wired in: every instance records [Op_update] per
+   high-level update (sharded by the calling pid), and the
+   implementations with interesting write contention (CAS retry loops,
+   double-refresh propagation, helping) additionally record CAS
+   attempts/failures, refresh rounds and helping events through their
+   [_metered] entry points.  [Op_read] is NOT recorded here: the [read]
+   closures carry no pid, and folding all readers onto one shard would
+   both lose counts and create exactly the cross-domain cache-line
+   traffic the shards exist to avoid — record it at the call site, where
+   the domain is known (bin/bench.exe does).  Passing
+   [Obs.Metrics.disabled] reduces every record site to an immediate-bool
+   branch; the overhead guard in test_obs.ml pins that the disabled path
+   allocates nothing and tracks the uninstrumented constructors. *)
+
+let meter_maxreg ~metrics (i : Maxreg.Max_register.instance) :
+    Maxreg.Max_register.instance =
+  { i with
+    write_max =
+      (fun ~pid v ->
+        Obs.Metrics.incr metrics ~domain:pid Obs.Metrics.Op_update;
+        i.write_max ~pid v) }
+
+let meter_counter ~metrics (i : Counters.Counter.instance) :
+    Counters.Counter.instance =
+  { i with
+    increment =
+      (fun ~pid ->
+        Obs.Metrics.incr metrics ~domain:pid Obs.Metrics.Op_update;
+        i.increment ~pid) }
+
+let maxreg_native_metered ~metrics ~n ~bound impl :
+    Maxreg.Max_register.instance option =
+  (* a disabled handle means "no instrumentation": hand out the
+     uninstrumented instance itself — zero overhead by construction *)
+  if not (Obs.Metrics.enabled metrics) then maxreg_native_fast ~n ~bound impl
+  else
+  match impl with
+  | Algorithm_a | Algorithm_a_literal ->
+    let module A = Maxreg.Algorithm_a.Unboxed in
+    let reg =
+      A.create ~literal_early_return:(impl = Algorithm_a_literal) ~n ()
+    in
+    Some
+      (meter_maxreg ~metrics
+         { read_max = (fun () -> A.read_max reg);
+           write_max = (fun ~pid v -> A.write_max_metered reg ~metrics ~pid v) })
+  | Cas_maxreg ->
+    let module A = Maxreg.Cas_maxreg.Unboxed in
+    let reg = A.create () in
+    Some
+      (meter_maxreg ~metrics
+         { read_max = (fun () -> A.read_max reg);
+           write_max = (fun ~pid v -> A.write_max_metered reg ~metrics ~pid v) })
+  | B1_maxreg ->
+    (* switch writes are idempotent 0->1 stores, no CAS to meter: op
+       counts only *)
+    Option.map (meter_maxreg ~metrics) (maxreg_native_fast ~n ~bound impl)
+  | Aac_maxreg -> None
+
+let counter_native_metered ~metrics ~n ~bound impl :
+    Counters.Counter.instance option =
+  if not (Obs.Metrics.enabled metrics) then counter_native_fast ~n ~bound impl
+  else
+  match impl with
+  | Farray_counter ->
+    let module C = Counters.Farray_counter.Unboxed in
+    let c = C.create ~n () in
+    Some
+      (meter_counter ~metrics
+         { increment = (fun ~pid -> C.increment_metered c ~metrics ~pid);
+           read = (fun () -> C.read c) })
+  | Naive_counter | Snapshot_counter _ | Aac_counter ->
+    (* naive has no CAS (single-writer registers); the snapshot/AAC
+       constructions have no unboxed fast path or no int specialization —
+       meter whatever fast path exists with op counts *)
+    Option.map (meter_counter ~metrics) (counter_native_fast ~n ~bound impl)

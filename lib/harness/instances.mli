@@ -104,3 +104,27 @@ val counter_native_fast :
 
 val snapshot_native_fast :
   n:int -> snapshot_impl -> Snapshots.Snapshot.instance option
+
+(** {1 Metered (instrumented) native constructors}
+
+    The unboxed fast-path implementations with contention observability:
+    [Op_update] per high-level update for every instance, plus CAS
+    attempts/failures, propagate refresh rounds and helping events for
+    the implementations that have them (algorithm-a, cas-loop, farray).
+    Record sites shard by calling pid; [Op_read] is deliberately not
+    recorded (the [read] closures carry no pid — record it at the call
+    site, where the domain is known).  With a disabled handle
+    ({!Obs.Metrics.disabled}) these constructors return the
+    uninstrumented [_native_fast] instance itself — the no-op mode has
+    zero overhead by construction, and even the [_metered] entry points
+    called directly degrade to one inlined field test (see the
+    zero-allocation guard in test_obs.ml).  [None] exactly when
+    [_native_fast] has no specialization. *)
+
+val maxreg_native_metered :
+  metrics:Obs.Metrics.t ->
+  n:int -> bound:int -> maxreg_impl -> Maxreg.Max_register.instance option
+
+val counter_native_metered :
+  metrics:Obs.Metrics.t ->
+  n:int -> bound:int -> counter_impl -> Counters.Counter.instance option

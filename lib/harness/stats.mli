@@ -1,9 +1,13 @@
-(** Small descriptive statistics over measurement samples. *)
+(** Small descriptive statistics over measurement samples.
+
+    Non-finite samples are dropped before summarizing; an
+    effectively-empty input yields the all-zero summary (never
+    [infinity]/[neg_infinity] extremes). *)
 
 type summary = {
-  count : int;
+  count : int;      (** finite samples summarized *)
   mean : float;
-  stddev : float;
+  stddev : float;   (** {e sample} stddev (Bessel-corrected, n-1); 0 when n < 2 *)
   min : float;
   max : float;
 }

@@ -2,15 +2,31 @@
     [bin/bench.exe].  Workers count completed operations in a domain-local
     [int ref] and publish once after the stop flag flips, through padded
     per-domain slots — the timed loop performs no shared-memory traffic
-    beyond the operation under test and the stop-flag read. *)
+    beyond the operation under test and the stop-flag read.
+
+    Multi-domain timing is honest: the window runs from a post-spawn start
+    barrier (all workers spawned and spinning, then released together) to
+    stop-acknowledged (every worker has published its count), and the
+    measured elapsed time — not the requested duration — is the
+    denominator.  The former [ops / requested-seconds] accounting
+    inflated multi-domain rows: spawn cost and startup skew shrank the
+    true window, and operations executed between [sleepf] returning and
+    the workers' next stop check were counted outside it. *)
 
 val run_mix : domains:int -> seconds:float -> op:(int -> int -> unit) -> float
 (** Spawn [domains] domains, each calling [op d i] (domain index, local
     iteration counter) in a loop for [seconds]; return operations per
-    second summed over domains. *)
+    measured second summed over domains. *)
 
 val run_batched :
-  domains:int -> seconds:float -> batch:int -> op:(int -> int -> unit) -> float
+  ?now:(unit -> float) ->
+  ?sleep:(float -> unit) ->
+  domains:int ->
+  seconds:float ->
+  batch:int ->
+  op:(int -> int -> unit) ->
+  unit ->
+  float
 (** Like {!run_mix}, but [op d i] is expected to perform [batch]
     operations itself (indices [i .. i + batch - 1]) and the iteration
     counter advances by [batch] per call.  Amortizes the stop-flag read
@@ -22,4 +38,31 @@ val run_batched :
     domain-alone fast path for atomic RMWs, and a spawned watcher domain
     would switch the whole runtime into multi-domain mode, roughly
     doubling the cost of every CAS — the single-domain row would measure
-    runtime mode rather than the structure. *)
+    runtime mode rather than the structure.
+
+    [now]/[sleep] (defaults [Unix.gettimeofday]/[Unix.sleepf]) exist so
+    tests can pin the window arithmetic against a scripted clock. *)
+
+val run_alone :
+  ?now:(unit -> float) ->
+  seconds:float ->
+  batch:int ->
+  op:(int -> int -> unit) ->
+  unit ->
+  float
+(** The [domains = 1] path of {!run_batched}, callable directly. *)
+
+val run_batched_latency :
+  domains:int ->
+  seconds:float ->
+  batch:int ->
+  hist:Obs.Histogram.t array ->
+  op:(int -> int -> unit) ->
+  unit ->
+  float
+(** {!run_batched} with per-operation latency recording: worker [d] times
+    every batched call with the monotonic clock and records
+    [duration / batch] nanoseconds into [hist.(d)] (single-writer; merge
+    after return).  The clock pair adds ~40ns per batched call, so use
+    this as a separate metered pass and take throughput rows from
+    {!run_batched}. *)

@@ -38,7 +38,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let log3 x = log x /. log 3.
 
-let run ~impl ~make_counter ~n ~f_n =
+let run ?on_trace ~impl ~make_counter ~n ~f_n () =
   if n < 2 then invalid_arg "Theorem1.run: n must be >= 2";
   let session = Session.create () in
   let counter : Counters.Counter.instance = make_counter session ~n in
@@ -76,6 +76,7 @@ let run ~impl ~make_counter ~n ~f_n =
   Scheduler.run_solo sched reader;
   let reader_steps = Scheduler.event_count sched - events_before_read in
   let trace = Scheduler.finish sched in
+  Option.iter (fun f -> f trace) on_trace;
   (* Awareness analysis over the complete execution.  Lemma 1's 3x bound
      is a statement about the paper's literal Definition 1 (under the
      repaired visibility rule value-preserving events stay visible inside

@@ -21,13 +21,17 @@ type result = {
 }
 
 val run :
+  ?on_trace:(Memsim.Trace.t -> unit) ->
   impl:string ->
   make_counter:(Memsim.Session.t -> n:int -> Counters.Counter.instance) ->
   n:int ->
   f_n:int ->
+  unit ->
   result
 (** Run the construction against a counter implementation.  [f_n] is the
     read step complexity used in the predicted bound (measure it with
-    {!Harness.Measure}). *)
+    {!Harness.Measure}).  [on_trace] receives the complete adversarial
+    execution trace before analysis — hook for exporters (e.g.
+    [repro --trace] feeding {!Obs.Trace_export}). *)
 
 val pp_result : result Fmt.t

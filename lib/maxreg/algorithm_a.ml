@@ -137,6 +137,32 @@ module Unboxed = struct
     else if in_tl && not t.literal_early_return then
       Treeprim.Propagate.Unboxed.propagate ~refreshes:t.refreshes ~combine leaf
 
+  (* Metered WriteMax: the same control flow, with refresh rounds and CAS
+     outcomes recorded by the metered propagate, plus one [Help] event
+     when the write takes the help-the-concurrent-writer branch (the
+     repaired line 16).  Kept separate from [write_max] so the
+     uninstrumented path carries no [enabled] test at all. *)
+  let write_max_metered t ~metrics ~pid value =
+    if not metrics.Obs.Metrics.enabled then write_max t ~pid value
+    else begin
+      if value < 0 then invalid_arg "Algorithm_a.write_max: negative value";
+      if pid < 0 || pid >= t.n then
+        invalid_arg "Algorithm_a.write_max: bad pid";
+      let in_tl = value < Array.length t.tl_leaves in
+      let leaf = if in_tl then t.tl_leaves.(value) else t.tr_leaves.(pid) in
+      let old_value = Atomic.get leaf.Treeprim.Tree_shape.data in
+      if value > old_value then begin
+        Atomic.set leaf.Treeprim.Tree_shape.data value;
+        Treeprim.Propagate.Unboxed.propagate_metered ~metrics ~domain:pid
+          ~refreshes:t.refreshes ~combine leaf
+      end
+      else if in_tl && not t.literal_early_return then begin
+        Obs.Metrics.incr metrics ~domain:pid Obs.Metrics.Help;
+        Treeprim.Propagate.Unboxed.propagate_metered ~metrics ~domain:pid
+          ~refreshes:t.refreshes ~combine leaf
+      end
+    end
+
   let tl_leaf_depth t v = Treeprim.Tree_shape.depth t.tl_leaves.(v)
   let tr_leaf_depth t i = Treeprim.Tree_shape.depth t.tr_leaves.(i)
 end

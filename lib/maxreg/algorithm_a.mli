@@ -66,6 +66,15 @@ module Unboxed : sig
 
   val read_max : t -> int
   val write_max : t -> pid:int -> int -> unit
+
+  val write_max_metered : t -> metrics:Obs.Metrics.t -> pid:int -> int -> unit
+  (** [write_max] with contention observability: refresh rounds and CAS
+      outcomes are recorded under shard [pid], plus one
+      [Obs.Metrics.Help] when the write helps a concurrent same-value
+      writer propagate (the repaired line 16).  With
+      {!Obs.Metrics.disabled} each record site costs one immediate-bool
+      branch and allocates nothing. *)
+
   val tl_leaf_depth : t -> int -> int
   val tr_leaf_depth : t -> int -> int
 end

@@ -52,4 +52,24 @@ module Unboxed = struct
     ignore pid;
     if value < 0 then invalid_arg "Cas_maxreg.write_max: negative value";
     cas_loop t value
+
+  (* Metered retry loop: the interesting observable for the non-wait-free
+     baseline is precisely how many CAS attempts a WriteMax needed — the
+     quantity the Theorem 3 adversary drives to Theta(K). *)
+  let rec cas_loop_metered ~metrics ~domain (t : t) value =
+    let cur = Atomic.get t in
+    if value > cur then begin
+      Obs.Metrics.incr metrics ~domain Obs.Metrics.Cas_attempt;
+      if not (Atomic.compare_and_set t cur value) then begin
+        Obs.Metrics.incr metrics ~domain Obs.Metrics.Cas_failure;
+        cas_loop_metered ~metrics ~domain t value
+      end
+    end
+
+  let write_max_metered t ~metrics ~pid value =
+    if not metrics.Obs.Metrics.enabled then write_max t ~pid value
+    else begin
+      if value < 0 then invalid_arg "Cas_maxreg.write_max: negative value";
+      cas_loop_metered ~metrics ~domain:pid t value
+    end
 end

@@ -22,4 +22,9 @@ module Unboxed : sig
   val create : ?padded:bool -> unit -> t
   val read_max : t -> int
   val write_max : t -> pid:int -> int -> unit
+
+  val write_max_metered : t -> metrics:Obs.Metrics.t -> pid:int -> int -> unit
+  (** [write_max] recording every CAS attempt and failure under shard
+      [pid] — the retry count the Theorem 3 adversary stretches.  Free
+      (one immediate-bool branch per site) with {!Obs.Metrics.disabled}. *)
 end

@@ -1,0 +1,118 @@
+(* HDR-style log-bucketed latency histograms.
+
+   Values (nanoseconds, non-negative ints) are binned exactly below
+   [sub_count] and logarithmically above: each power-of-two octave is split
+   into [sub_count] linear sub-buckets, so the relative quantization error
+   is bounded by 1/sub_count (~3%) at every magnitude — constant memory
+   (a few KB) over the whole int range, which is what makes per-worker
+   recording and post-run merging cheap.
+
+   A histogram is single-writer (one bench worker records into its own);
+   [merge_into] combines them after the workers have been joined, so no
+   field needs to be atomic.  Exact count/sum/min/max are tracked alongside
+   the buckets; percentiles are interpolated from bucket midpoints and
+   clamped to the exact [min, max]. *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits  (* 32 sub-buckets per octave *)
+
+(* Octaves for values with top bit 5 .. 62 (OCaml ints), plus the exact
+   range [0, 32). *)
+let n_buckets = sub_count + ((62 - sub_bits) * sub_count)
+
+let msb v =
+  let rec go v acc = if v < 2 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of_value v =
+  let v = if v < 0 then 0 else v in
+  if v < sub_count then v
+  else
+    let o = msb v in
+    let sub = (v lsr (o - sub_bits)) - sub_count in
+    min (n_buckets - 1) (sub_count + (((o - sub_bits) * sub_count) + sub))
+
+(* Inclusive lower bound of a bucket. *)
+let value_of_bucket b =
+  if b < sub_count then b
+  else
+    let o = sub_bits + ((b - sub_count) / sub_count) in
+    let sub = (b - sub_count) mod sub_count in
+    (sub_count + sub) lsl (o - sub_bits)
+
+let bucket_width b =
+  if b < sub_count then 1 else 1 lsl ((sub_bits + ((b - sub_count) / sub_count)) - sub_bits)
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0;
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = 0 }
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let b = bucket_of_value v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+
+let merge_into ~dst src =
+  for b = 0 to n_buckets - 1 do
+    dst.counts.(b) <- dst.counts.(b) + src.counts.(b)
+  done;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v
+
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
+
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.count = 0 then nan else float_of_int t.sum /. float_of_int t.count
+
+(* Value at the given percentile: the midpoint of the bucket containing
+   the rank-[ceil (p/100 * count)] sample, clamped to the exact extremes
+   (so percentile 0 is [min_value] and 100 is [max_value] exactly). *)
+let percentile t p =
+  if t.count = 0 then nan
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank =
+      Float.to_int (Float.round (p /. 100. *. float_of_int t.count)) |> max 1
+    in
+    let rec find b acc =
+      if b >= n_buckets then t.max_v
+      else
+        let acc = acc + t.counts.(b) in
+        if acc >= rank then
+          value_of_bucket b + (bucket_width b / 2)
+        else find (b + 1) acc
+    in
+    let v = find 0 0 in
+    float_of_int (max t.min_v (min t.max_v v))
+  end
+
+let pp ppf t =
+  if t.count = 0 then Fmt.string ppf "empty"
+  else
+    Fmt.pf ppf "n=%d p50=%.0f p95=%.0f p99=%.0f max=%d"
+      t.count (percentile t 50.) (percentile t 95.) (percentile t 99.)
+      t.max_v

@@ -1,0 +1,49 @@
+(** Mergeable HDR-style log-bucketed histograms (for per-op latencies in
+    nanoseconds, or any non-negative int sample).
+
+    Values below 32 are binned exactly; above, every power-of-two octave
+    is split into 32 linear sub-buckets, bounding relative quantization
+    error by ~3% at every magnitude with constant (few-KB) memory.
+
+    A histogram is single-writer: each bench worker records into its own
+    and the results are merged after the workers are joined — no field is
+    atomic. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one sample (negative samples clamp to 0). *)
+
+val count : t -> int
+
+val merge_into : dst:t -> t -> unit
+val merge : t -> t -> t
+(** Pure merge; commutative and associative (qcheck-tested). *)
+
+val min_value : t -> int
+(** Exact; 0 when empty. *)
+
+val max_value : t -> int
+(** Exact; 0 when empty. *)
+
+val mean : t -> float
+(** Exact (from the tracked sum); nan when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 100]: midpoint of the bucket holding
+    the rank-[p] sample, clamped to the exact extremes; nan when empty.
+    Monotone in [p]. *)
+
+val pp : t Fmt.t
+
+(** {1 Bucket geometry (exposed for tests)} *)
+
+val n_buckets : int
+val bucket_of_value : int -> int
+
+val value_of_bucket : int -> int
+(** Inclusive lower bound of a bucket. *)
+
+val bucket_width : int -> int

@@ -1,0 +1,40 @@
+(** Minimal JSON: a value type, a printer and a parser, with no external
+    dependency.
+
+    Floats print in shortest round-trip form (successively wider [%g]
+    until [float_of_string] recovers the exact binary64), so emitted
+    documents survive a parse -> reprint cycle without losing precision;
+    non-finite floats become [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_file : string -> t -> unit
+
+val float_repr : float -> string
+(** Shortest decimal string that parses back to the same binary64. *)
+
+val escape : string -> string
+(** RFC 8259 string-content escaping (no surrounding quotes). *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse RFC 8259 JSON; raises {!Parse_error}.  Numbers parse as [Int]
+    when they are exact OCaml ints, [Float] otherwise.  Non-ASCII [\u]
+    escapes (which the printer never emits) decode as ['?']. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+val as_float : t -> float option
+val as_list : t -> t list option
+val as_string : t -> string option
+val as_int : t -> int option

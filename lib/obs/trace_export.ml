@@ -1,0 +1,132 @@
+(* Chrome trace_event export for simulator executions.
+
+   A [Memsim.Trace.t] is logical time: an interleaved sequence of
+   shared-memory events and operation boundaries.  Mapping it onto the
+   Chrome trace_event JSON format (the one chrome://tracing and Perfetto
+   load) makes adversarial constructions, DPOR counterexamples and
+   minimized stress failures visually inspectable:
+
+   - each simulated process becomes a named thread ([tid] = pid);
+   - each shared-memory event becomes a complete ("ph":"X") slice of one
+     logical microsecond at its position in the interleaving, carrying the
+     primitive, operands, response and before/after object values as args;
+   - each high-level operation becomes a "B"/"E" duration pair, so writes
+     stretched by the adversary show as long slices over the individual
+     steps they were forced to take.
+
+   Timestamps are entry indices (logical time, microseconds in the trace
+   format), hence strictly monotone — Perfetto needs nothing more. *)
+
+open Memsim
+
+let simval_json (v : Simval.t) : Json_out.t =
+  match v with
+  | Simval.Bot -> Json_out.Str "⊥"
+  | Simval.Int i -> Json_out.Int i
+  | Simval.Vec _ -> Json_out.Str (Simval.to_string v)
+
+let prim_label (p : Event.prim) =
+  match p with
+  | Event.Read -> "read"
+  | Event.Write _ -> "write"
+  | Event.Cas _ -> "cas"
+
+let response_json (r : Event.response) : Json_out.t =
+  match r with
+  | Event.RVal v -> simval_json v
+  | Event.RAck -> Json_out.Str "ack"
+  | Event.RBool b -> Json_out.Bool b
+
+let process_id = 1
+
+let mem_event ~ts (e : Event.t) : Json_out.t =
+  let prim_args =
+    match e.prim with
+    | Event.Read -> []
+    | Event.Write v -> [ ("value", simval_json v) ]
+    | Event.Cas { expected; desired } ->
+      [ ("expected", simval_json expected); ("desired", simval_json desired) ]
+  in
+  Json_out.Obj
+    [ ("name", Json_out.Str (Printf.sprintf "%s.%s" e.obj_name (prim_label e.prim)));
+      ("cat", Json_out.Str "mem");
+      ("ph", Json_out.Str "X");
+      ("ts", Json_out.Int ts);
+      ("dur", Json_out.Int 1);
+      ("pid", Json_out.Int process_id);
+      ("tid", Json_out.Int e.pid);
+      ( "args",
+        Json_out.Obj
+          (( "seq", Json_out.Int e.seq )
+           :: ("obj", Json_out.Str e.obj_name)
+           :: prim_args
+           @ [ ("response", response_json e.response);
+               ("before", simval_json e.before);
+               ("after", simval_json e.after);
+               ("changed_value", Json_out.Bool (Event.changed_value e)) ]) ) ]
+
+let op_boundary ~ts ~ph ~pid ~op args : Json_out.t =
+  Json_out.Obj
+    [ ("name", Json_out.Str op);
+      ("cat", Json_out.Str "op");
+      ("ph", Json_out.Str ph);
+      ("ts", Json_out.Int ts);
+      ("pid", Json_out.Int process_id);
+      ("tid", Json_out.Int pid);
+      ("args", Json_out.Obj args) ]
+
+let thread_name ~pid : Json_out.t =
+  Json_out.Obj
+    [ ("name", Json_out.Str "thread_name");
+      ("ph", Json_out.Str "M");
+      ("pid", Json_out.Int process_id);
+      ("tid", Json_out.Int pid);
+      ("args", Json_out.Obj [ ("name", Json_out.Str (Printf.sprintf "p%d" pid)) ]) ]
+
+let chrome_json ?(name = "memsim") (trace : Trace.t) : Json_out.t =
+  let entries = Trace.entries trace in
+  (* Operations still open at the end of the execution (erased processes,
+     truncated schedules) need their "E" closed or Perfetto reports
+     unbalanced slices; close them all at the final timestamp. *)
+  let open_ops = Hashtbl.create 8 in
+  let events =
+    List.concat
+      (List.mapi
+         (fun ts entry ->
+           match entry with
+           | Trace.Mem e -> [ mem_event ~ts e ]
+           | Trace.Invoke { pid; op; arg } ->
+             Hashtbl.replace open_ops pid
+               (op :: (Option.value ~default:[] (Hashtbl.find_opt open_ops pid)));
+             [ op_boundary ~ts ~ph:"B" ~pid ~op [ ("arg", simval_json arg) ] ]
+           | Trace.Return { pid; op; result } ->
+             (match Hashtbl.find_opt open_ops pid with
+              | Some (_ :: rest) -> Hashtbl.replace open_ops pid rest
+              | Some [] | None -> ());
+             [ op_boundary ~ts ~ph:"E" ~pid ~op [ ("result", simval_json result) ] ])
+         (Array.to_list entries))
+  in
+  let final_ts = Array.length entries in
+  let closers =
+    Hashtbl.fold
+      (fun pid ops acc ->
+        List.map
+          (fun op -> op_boundary ~ts:final_ts ~ph:"E" ~pid ~op [])
+          ops
+        @ acc)
+      open_ops []
+  in
+  let names =
+    List.map (fun pid -> thread_name ~pid) (Trace.pids trace)
+  in
+  Json_out.Obj
+    [ ("traceEvents", Json_out.List (names @ events @ closers));
+      ("displayTimeUnit", Json_out.Str "ms");
+      ( "otherData",
+        Json_out.Obj
+          [ ("source", Json_out.Str name);
+            ("time_unit", Json_out.Str "logical (1 us = 1 trace entry)") ] ) ]
+
+let to_string ?name trace = Json_out.to_string (chrome_json ?name trace)
+
+let to_file ?name path trace = Json_out.to_file path (chrome_json ?name trace)

@@ -1,0 +1,16 @@
+(** Chrome [trace_event] JSON export of simulator executions, loadable in
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}.
+
+    Each simulated process becomes a named thread; each shared-memory
+    event a one-logical-microsecond complete slice carrying primitive,
+    operands, response and before/after values; each high-level operation
+    a "B"/"E" duration pair (operations left open by erasure or
+    truncation are closed at the final timestamp, so the stream is always
+    balanced).  Timestamps are entry indices — strictly monotone. *)
+
+val chrome_json : ?name:string -> Memsim.Trace.t -> Json_out.t
+(** The full [{"traceEvents": [...], ...}] document.  [name] labels the
+    source in the document metadata. *)
+
+val to_string : ?name:string -> Memsim.Trace.t -> string
+val to_file : ?name:string -> string -> Memsim.Trace.t -> unit

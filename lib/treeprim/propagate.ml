@@ -72,4 +72,45 @@ module Unboxed = struct
         refresh ~combine parent
       done;
       propagate ~refreshes ~combine parent
+
+  (* {2 Metered variants}
+
+     Same walk, but each refresh round and each CAS outcome is recorded
+     into an {!Obs.Metrics.t} shard ([domain] should be the calling pid).
+     Kept separate from the plain walk above so the uninstrumented hot
+     path carries not even the [enabled] test.  A disabled handle
+     delegates to the plain walk after one inlined field test at entry
+     ([Obs.Metrics.t] is a private record precisely so this test is a
+     load, not a cross-library call): the no-op mode costs one branch
+     per *operation*, not one call per record site. *)
+
+  let refresh_metered ~metrics ~domain ~combine
+      (node : int Atomic.t Tree_shape.node) =
+    if not metrics.Obs.Metrics.enabled then refresh ~combine node
+    else begin
+      let old_value = Atomic.get node.Tree_shape.data in
+      let l = child_value node.Tree_shape.left in
+      let r = child_value node.Tree_shape.right in
+      let new_value = combine l r in
+      Obs.Metrics.incr metrics ~domain Obs.Metrics.Cas_attempt;
+      if not (Atomic.compare_and_set node.Tree_shape.data old_value new_value)
+      then Obs.Metrics.incr metrics ~domain Obs.Metrics.Cas_failure
+    end
+
+  let rec propagate_metered_live ~metrics ~domain ~refreshes ~combine
+      (leaf : int Atomic.t Tree_shape.node) =
+    match leaf.Tree_shape.parent with
+    | None -> ()
+    | Some parent ->
+      for _ = 1 to refreshes do
+        Obs.Metrics.incr metrics ~domain Obs.Metrics.Refresh_round;
+        refresh_metered ~metrics ~domain ~combine parent
+      done;
+      propagate_metered_live ~metrics ~domain ~refreshes ~combine parent
+
+  let propagate_metered ~metrics ~domain ~refreshes ~combine
+      (leaf : int Atomic.t Tree_shape.node) =
+    if metrics.Obs.Metrics.enabled then
+      propagate_metered_live ~metrics ~domain ~refreshes ~combine leaf
+    else propagate ~refreshes ~combine leaf
 end

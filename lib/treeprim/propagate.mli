@@ -45,4 +45,27 @@ module Unboxed : sig
     combine:(int -> int -> int) ->
     int Atomic.t Tree_shape.node ->
     unit
+
+  (** {1 Metered variants}
+
+      Identical walk, recording one [Refresh_round] per node refresh and
+      one [Cas_attempt] / [Cas_failure] per refresh CAS into the given
+      {!Obs.Metrics.t} under shard [domain] (pass the calling pid).  With
+      {!Obs.Metrics.disabled} each record site is a single immediate-bool
+      branch and allocates nothing. *)
+
+  val refresh_metered :
+    metrics:Obs.Metrics.t ->
+    domain:int ->
+    combine:(int -> int -> int) ->
+    int Atomic.t Tree_shape.node ->
+    unit
+
+  val propagate_metered :
+    metrics:Obs.Metrics.t ->
+    domain:int ->
+    refreshes:int ->
+    combine:(int -> int -> int) ->
+    int Atomic.t Tree_shape.node ->
+    unit
 end

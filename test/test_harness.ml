@@ -87,15 +87,90 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "mean" 2.5 s.Harness.Stats.mean;
   Alcotest.(check (float 1e-9)) "min" 1. s.Harness.Stats.min;
   Alcotest.(check (float 1e-9)) "max" 4. s.Harness.Stats.max;
-  Alcotest.(check (float 1e-6)) "stddev" 1.118033989 s.Harness.Stats.stddev
+  (* sample stddev (Bessel-corrected): sqrt(5/3), not the population
+     sqrt(5/4) — benchmark trials are a sample, not the population *)
+  Alcotest.(check (float 1e-6)) "stddev" 1.290994449 s.Harness.Stats.stddev
+
+let test_stats_single () =
+  let s = Harness.Stats.summarize [ 7. ] in
+  Alcotest.(check int) "count" 1 s.Harness.Stats.count;
+  Alcotest.(check (float 1e-9)) "stddev defined (0) for n=1" 0.
+    s.Harness.Stats.stddev
 
 let test_stats_empty () =
   let s = Harness.Stats.summarize [] in
-  Alcotest.(check int) "count" 0 s.Harness.Stats.count
+  Alcotest.(check int) "count" 0 s.Harness.Stats.count;
+  (* no infinite extremes leaking out of the fold's seed values *)
+  Alcotest.(check (float 0.)) "min" 0. s.Harness.Stats.min;
+  Alcotest.(check (float 0.)) "max" 0. s.Harness.Stats.max
+
+let test_stats_nonfinite_dropped () =
+  let s = Harness.Stats.summarize [ 1.; nan; 3.; infinity ] in
+  Alcotest.(check int) "count" 2 s.Harness.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2. s.Harness.Stats.mean;
+  Alcotest.(check (float 1e-9)) "max" 3. s.Harness.Stats.max;
+  let s = Harness.Stats.summarize [ nan ] in
+  Alcotest.(check int) "all dropped" 0 s.Harness.Stats.count;
+  Alcotest.(check (float 0.)) "empty min" 0. s.Harness.Stats.min
 
 let test_stats_ints () =
   let s = Harness.Stats.summarize_ints [ 10; 20 ] in
   Alcotest.(check (float 1e-9)) "mean" 15. s.Harness.Stats.mean
+
+(* {1 Throughput window arithmetic}
+
+   Pin the elapsed-time denominator against a scripted clock: the rate
+   must be [operations / measured elapsed], never [operations /
+   requested seconds].  (The old accounting divided by the request,
+   counting spawn cost, startup skew and post-sleep operations into a
+   window that didn't contain them.) *)
+
+let scripted_clock times =
+  let i = ref 0 in
+  fun () ->
+    let k = !i in
+    incr i;
+    if k < Array.length times then times.(k) else times.(Array.length times - 1)
+
+let test_run_alone_measured_window () =
+  (* now() call sites: deadline base, t0, loop checks..., t1 after exit.
+     Script one chunk (1024 ops at batch 1) and a window of 2.0 measured
+     seconds: the rate must be 1024 / 2.0 regardless of the requested
+     1.0s. *)
+  let now = scripted_clock [| 0.0; 0.0; 0.5; 1.5; 2.0 |] in
+  let ops = ref 0 in
+  let rate =
+    Harness.Throughput.run_alone ~now ~seconds:1.0 ~batch:1
+      ~op:(fun _ _ -> incr ops) ()
+  in
+  Alcotest.(check int) "one chunk ran" 1024 !ops;
+  Alcotest.(check (float 1e-9)) "ops / measured elapsed" 512. rate
+
+let test_run_batched_measured_window () =
+  (* multi-domain: now() is called exactly twice (t0 at the start
+     barrier, t1 after stop is acknowledged); sleep is a no-op so the
+     workers run only for the flag-flip interval.  Whatever they manage
+     to do, the denominator must be the scripted t1 - t0 = 2.5s, and
+     every counted call must lie inside the acknowledged window. *)
+  let now = scripted_clock [| 10.0; 12.5 |] in
+  let batch = 4 in
+  let calls = Atomic.make 0 in
+  (* "sleep" until the workers have demonstrably operated, so the window
+     provably contains work without depending on real time *)
+  let sleep _ =
+    while Atomic.get calls < 8 do
+      Domain.cpu_relax ()
+    done
+  in
+  let rate =
+    Harness.Throughput.run_batched ~now ~sleep ~domains:2 ~seconds:99.0 ~batch
+      ~op:(fun _ _ -> Atomic.incr calls)
+      ()
+  in
+  let counted = float_of_int (batch * Atomic.get calls) in
+  Alcotest.(check bool) "workers made progress" true (counted > 0.);
+  (* rate * elapsed recovers exactly the operations the workers counted *)
+  Alcotest.(check (float 1e-6)) "ops / measured elapsed" counted (rate *. 2.5)
 
 (* {1 Tables} *)
 
@@ -136,8 +211,16 @@ let () =
           Alcotest.test_case "powers" `Quick test_measure_powers ] );
       ( "stats",
         [ Alcotest.test_case "summary" `Quick test_stats;
+          Alcotest.test_case "single sample" `Quick test_stats_single;
           Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "non-finite dropped" `Quick
+            test_stats_nonfinite_dropped;
           Alcotest.test_case "ints" `Quick test_stats_ints ] );
+      ( "throughput window",
+        [ Alcotest.test_case "run_alone measured elapsed" `Quick
+            test_run_alone_measured_window;
+          Alcotest.test_case "run_batched measured elapsed" `Quick
+            test_run_batched_measured_window ] );
       ( "tables",
         [ Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows ] ) ]

@@ -9,7 +9,7 @@ let maxreg_factory impl session ~n =
 let t1 ?(f_n = 1) impl ~n =
   Lowerbound.Theorem1.run
     ~impl:(Harness.Instances.counter_name impl)
-    ~make_counter:(counter_factory impl) ~n ~f_n
+    ~make_counter:(counter_factory impl) ~n ~f_n ()
 
 (* {1 Theorem 1} *)
 

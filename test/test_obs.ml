@@ -1,0 +1,458 @@
+(* Tests for the observability layer (lib/obs): sharded metric counters,
+   log-bucketed latency histograms, JSON round-tripping and the Chrome
+   trace exporter — plus the zero-allocation guard for disabled
+   instrumentation. *)
+
+module H = Obs.Histogram
+module M = Obs.Metrics
+module J = Obs.Json_out
+
+(* {1 Histogram: bucket geometry} *)
+
+let test_bucket_bounds_small () =
+  (* values below 32 are exact: bucket = value, width 1 *)
+  for v = 0 to 31 do
+    Alcotest.(check int) (Printf.sprintf "bucket of %d" v) v (H.bucket_of_value v);
+    Alcotest.(check int) (Printf.sprintf "lower of %d" v) v
+      (H.value_of_bucket (H.bucket_of_value v));
+    Alcotest.(check int) (Printf.sprintf "width of %d" v) 1
+      (H.bucket_width (H.bucket_of_value v))
+  done
+
+let qcheck_bucket_contains =
+  QCheck.Test.make ~count:2000 ~name:"bucket_of_value lands v inside its bucket"
+    QCheck.(map abs int)
+    (fun v ->
+      let b = H.bucket_of_value v in
+      let lo = H.value_of_bucket b in
+      let w = H.bucket_width b in
+      b >= 0 && b < H.n_buckets && lo <= v
+      && (v < lo + w || b = H.n_buckets - 1))
+
+let qcheck_bucket_error =
+  QCheck.Test.make ~count:2000
+    ~name:"quantization error bounded by one sub-bucket (~3%)"
+    QCheck.(map (fun i -> abs i) int)
+    (fun v ->
+      let b = H.bucket_of_value v in
+      b = H.n_buckets - 1
+      || float_of_int (H.bucket_width b) <= Float.max 1. (0.04 *. float_of_int v))
+
+(* {1 Histogram: record / stats / percentiles} *)
+
+let test_hist_exact_stats () =
+  let h = H.create () in
+  List.iter (H.record h) [ 5; 1; 9; 9; 3 ];
+  Alcotest.(check int) "count" 5 (H.count h);
+  Alcotest.(check int) "min" 1 (H.min_value h);
+  Alcotest.(check int) "max" 9 (H.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 5.4 (H.mean h);
+  (* all values < 32 are exact, so percentiles are too (modulo clamping) *)
+  Alcotest.(check (float 1e-9)) "p0 = min" 1. (H.percentile h 0.);
+  Alcotest.(check (float 1e-9)) "p100 = max" 9. (H.percentile h 100.);
+  Alcotest.(check (float 1e-9)) "p50 = median" 5. (H.percentile h 50.)
+
+let test_hist_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  Alcotest.(check int) "min" 0 (H.min_value h);
+  Alcotest.(check int) "max" 0 (H.max_value h);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (H.mean h));
+  Alcotest.(check bool) "p50 nan" true (Float.is_nan (H.percentile h 50.))
+
+let test_hist_negative_clamps () =
+  let h = H.create () in
+  H.record h (-17);
+  Alcotest.(check int) "count" 1 (H.count h);
+  Alcotest.(check int) "min" 0 (H.min_value h);
+  Alcotest.(check int) "max" 0 (H.max_value h)
+
+let hist_of_list vs =
+  let h = H.create () in
+  List.iter (H.record h) vs;
+  h
+
+let nonneg_list = QCheck.(list_of_size Gen.(1 -- 200) (map abs small_int))
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~count:500 ~name:"percentiles monotone in p"
+    QCheck.(pair nonneg_list (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+    (fun (vs, (p, q)) ->
+      let h = hist_of_list vs in
+      let p, q = (Float.min p q, Float.max p q) in
+      H.percentile h p <= H.percentile h q)
+
+let qcheck_percentile_in_range =
+  QCheck.Test.make ~count:500 ~name:"percentiles within [min, max]"
+    QCheck.(pair nonneg_list (float_bound_inclusive 100.))
+    (fun (vs, p) ->
+      let h = hist_of_list vs in
+      let x = H.percentile h p in
+      float_of_int (H.min_value h) <= x && x <= float_of_int (H.max_value h))
+
+let qcheck_merge_commutes =
+  QCheck.Test.make ~count:500 ~name:"merge commutes"
+    QCheck.(pair nonneg_list nonneg_list)
+    (fun (xs, ys) ->
+      let a = H.merge (hist_of_list xs) (hist_of_list ys) in
+      let b = H.merge (hist_of_list ys) (hist_of_list xs) in
+      H.count a = H.count b
+      && H.min_value a = H.min_value b
+      && H.max_value a = H.max_value b
+      && List.for_all
+           (fun p -> H.percentile a p = H.percentile b p)
+           [ 0.; 50.; 95.; 99.; 100. ])
+
+let qcheck_merge_is_concat =
+  QCheck.Test.make ~count:500 ~name:"merge == recording the concatenation"
+    QCheck.(pair nonneg_list nonneg_list)
+    (fun (xs, ys) ->
+      let m = H.merge (hist_of_list xs) (hist_of_list ys) in
+      let c = hist_of_list (xs @ ys) in
+      H.count m = H.count c
+      && H.min_value m = H.min_value c
+      && H.max_value m = H.max_value c
+      && Float.equal (H.mean m) (H.mean c)
+      && List.for_all
+           (fun p -> H.percentile m p = H.percentile c p)
+           [ 0.; 25.; 50.; 95.; 100. ])
+
+(* {1 Metrics: sharding, merge-on-read, reset} *)
+
+let test_metrics_totals () =
+  let m = M.create ~domains:3 () in
+  M.incr m ~domain:0 M.Cas_attempt;
+  M.incr m ~domain:1 M.Cas_attempt;
+  M.incr m ~domain:2 M.Cas_attempt;
+  M.incr m ~domain:1 M.Cas_failure;
+  M.add m ~domain:2 M.Refresh_round 5;
+  M.incr m ~domain:0 M.Help;
+  M.incr m ~domain:0 M.Op_read;
+  M.incr m ~domain:0 M.Op_update;
+  let t = M.totals m in
+  Alcotest.(check int) "cas attempts" 3 t.M.cas_attempts;
+  Alcotest.(check int) "cas failures" 1 t.M.cas_failures;
+  Alcotest.(check int) "refresh rounds" 5 t.M.refresh_rounds;
+  Alcotest.(check int) "helps" 1 t.M.helps;
+  Alcotest.(check int) "op reads" 1 t.M.op_reads;
+  Alcotest.(check int) "op updates" 1 t.M.op_updates;
+  Alcotest.(check (float 1e-9)) "failure rate" (1. /. 3.)
+    (M.cas_failure_rate t);
+  M.reset m;
+  Alcotest.(check int) "reset" 0 (M.totals m).M.cas_attempts
+
+let test_metrics_domain_folding () =
+  (* shard count rounds up to a power of two; any domain index is valid
+     and folds onto an existing shard without losing counts *)
+  let m = M.create ~domains:3 () in
+  for d = 0 to 40 do
+    M.incr m ~domain:d M.Op_update
+  done;
+  Alcotest.(check int) "all counted" 41 (M.totals m).M.op_updates
+
+let test_metrics_disabled () =
+  Alcotest.(check bool) "disabled" false (M.enabled M.disabled);
+  M.incr M.disabled ~domain:0 M.Cas_attempt;
+  M.add M.disabled ~domain:7 M.Help 3;
+  Alcotest.(check int) "stays zero" 0
+    (M.total_of (M.totals M.disabled) M.Cas_attempt)
+
+let test_metrics_totals_roundtrip () =
+  let m = M.create ~domains:2 () in
+  List.iter
+    (fun c ->
+      M.add m ~domain:0 c 2;
+      M.add m ~domain:1 c 3)
+    M.all_counters;
+  let t = M.totals m in
+  List.iter
+    (fun c ->
+      Alcotest.(check int) (M.counter_name c) 5 (M.total_of t c))
+    M.all_counters
+
+(* {1 The zero-allocation guard}
+
+   With the [disabled] handle every record site must be one
+   immediate-bool branch: no allocation at all.  The enabled path is a
+   padded-cell load + store, also allocation-free.  This is the
+   deterministic core of the "instrumentation-overhead" acceptance
+   criterion; dune runs tests without flambda, exactly like the bench
+   builds, so what passes here holds for bin/bench.exe too. *)
+
+let minor_words_during f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_disabled_record_allocates_nothing () =
+  let record_many m () =
+    for i = 0 to 9_999 do
+      M.incr m ~domain:(i land 3) M.Cas_attempt;
+      M.add m ~domain:(i land 3) M.Refresh_round 2
+    done
+  in
+  record_many M.disabled ();  (* warm up *)
+  Alcotest.(check (float 0.)) "disabled: zero minor words" 0.
+    (minor_words_during (record_many M.disabled));
+  let m = M.create ~domains:4 () in
+  record_many m ();
+  Alcotest.(check (float 0.)) "enabled: zero minor words" 0.
+    (minor_words_during (record_many m))
+
+let test_disabled_metered_instance_allocates_nothing () =
+  (* the full instrumented call path of the benchmark's metered pass,
+     with recording disabled: still allocation-free *)
+  let inst =
+    Option.get
+      (Harness.Instances.counter_native_metered ~metrics:M.disabled ~n:4
+         ~bound:64 Harness.Instances.Farray_counter)
+  in
+  let run () =
+    for _ = 1 to 10_000 do
+      inst.Counters.Counter.increment ~pid:0;
+      ignore (inst.Counters.Counter.read () : int)
+    done
+  in
+  run ();  (* warm up *)
+  Alcotest.(check (float 0.)) "metered farray, disabled: zero minor words" 0.
+    (minor_words_during run);
+  let reg =
+    Option.get
+      (Harness.Instances.maxreg_native_metered ~metrics:M.disabled ~n:4
+         ~bound:64 Harness.Instances.Algorithm_a)
+  in
+  let run () =
+    for i = 1 to 10_000 do
+      reg.Maxreg.Max_register.write_max ~pid:0 i;
+      ignore (reg.Maxreg.Max_register.read_max () : int)
+    done
+  in
+  run ();
+  Alcotest.(check (float 0.)) "metered algorithm-a, disabled: zero minor words"
+    0.
+    (minor_words_during run)
+
+let test_histogram_record_allocates_nothing () =
+  let h = H.create () in
+  let run () =
+    for i = 0 to 9_999 do
+      H.record h (i * 7)
+    done
+  in
+  run ();
+  Alcotest.(check (float 0.)) "record: zero minor words" 0.
+    (minor_words_during run)
+
+(* {1 Metrics under domain parallelism} *)
+
+let test_metrics_parallel_single_writer () =
+  (* each domain records into its own shard; totals see every increment *)
+  let domains = 4 in
+  let per_domain = 50_000 in
+  let m = M.create ~domains () in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              M.incr m ~domain:d M.Op_update
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no lost updates" (domains * per_domain)
+    (M.totals m).M.op_updates
+
+(* {1 JSON round-tripping} *)
+
+let test_json_parse_basic () =
+  let doc = J.parse {| {"a": [1, -2.5, true, null, "x\n\"y"], "b": {"c": 3}} |} in
+  let a = Option.get (J.member "a" doc) in
+  (match Option.get (J.as_list a) with
+   | [ one; mhalf; t; n; s ] ->
+     Alcotest.(check (option int)) "int" (Some 1) (J.as_int one);
+     Alcotest.(check (option (float 0.))) "float" (Some (-2.5)) (J.as_float mhalf);
+     Alcotest.(check bool) "bool" true (t = J.Bool true);
+     Alcotest.(check bool) "null" true (n = J.Null);
+     Alcotest.(check (option string)) "escapes" (Some "x\n\"y") (J.as_string s)
+   | _ -> Alcotest.fail "wrong list shape");
+  Alcotest.(check (option int)) "nested member" (Some 3)
+    (Option.bind (J.member "b" doc) (J.member "c") |> Fun.flip Option.bind J.as_int)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises ("rejects " ^ s) (J.Parse_error "")
+        (fun () ->
+          try ignore (J.parse s : J.t)
+          with J.Parse_error _ -> raise (J.Parse_error "")))
+    [ ""; "{"; "[1,]"; "nul"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let qcheck_float_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"floats survive print -> parse"
+    QCheck.float
+    (fun f ->
+      QCheck.assume (Float.is_finite f);
+      match J.parse (J.to_string (J.Float f)) with
+      | J.Float g -> Float.equal g f
+      | J.Int i -> Float.equal (float_of_int i) f  (* "2" parses as Int 2 *)
+      | _ -> false)
+
+let test_float_repr_shortest () =
+  (* representative values where %.6g (the old printer) loses precision *)
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.)) (J.float_repr f) f
+        (float_of_string (J.float_repr f)))
+    [ 0.1; 1. /. 3.; 1e-300; 4.9406564584124654e-324; 1.7976931348623157e308;
+      123456.789012345; Float.pi ]
+
+let qcheck_value_roundtrip =
+  let gen_value =
+    QCheck.Gen.(
+      sized (fun n ->
+          fix
+            (fun self n ->
+              if n = 0 then
+                oneof
+                  [ return J.Null;
+                    map (fun b -> J.Bool b) bool;
+                    map (fun i -> J.Int i) int;
+                    map (fun s -> J.Str s) string_printable ]
+              else
+                frequency
+                  [ (2, map (fun l -> J.List l) (list_size (0 -- 4) (self (n / 2))));
+                    ( 2,
+                      map
+                        (fun ps -> J.Obj ps)
+                        (list_size (0 -- 4)
+                           (pair string_printable (self (n / 2)))) );
+                    (1, self 0) ])
+            (min n 4)))
+  in
+  QCheck.Test.make ~count:500 ~name:"JSON values survive print -> parse"
+    (QCheck.make gen_value)
+    (fun v ->
+      (* object member order and duplicate keys are preserved by both the
+         printer and the parser, so structural equality is exact *)
+      J.parse (J.to_string v) = v)
+
+(* {1 Chrome trace export} *)
+
+let make_trace () =
+  let open Memsim in
+  let session = Session.create () in
+  let c =
+    Harness.Annotate.counter session
+      (Harness.Instances.counter_sim session ~n:3 ~bound:64
+         Harness.Instances.Farray_counter)
+  in
+  let sched = Scheduler.create session in
+  for pid = 0 to 2 do
+    ignore
+      (Scheduler.spawn sched (fun () ->
+           if pid < 2 then c.increment ~pid else ignore (c.read ())))
+  done;
+  Scheduler.run_random ~seed:42 ~max_events:10_000 sched;
+  Scheduler.finish sched
+
+let test_trace_export_valid_json () =
+  let trace = make_trace () in
+  let doc = J.parse (Obs.Trace_export.to_string ~name:"unit-test" trace) in
+  let events =
+    Option.get (Option.bind (J.member "traceEvents" doc) J.as_list)
+  in
+  Alcotest.(check bool) "has events" true (List.length events > 0);
+  let phase e =
+    Option.get (Option.bind (J.member "ph" e) J.as_string)
+  in
+  let ts e = Option.bind (J.member "ts" e) J.as_int in
+  (* timestamps monotone over the non-metadata stream *)
+  let stamped = List.filter (fun e -> phase e <> "M") events in
+  let tss = List.map (fun e -> Option.get (ts e)) stamped in
+  let rec monotone = function
+    | a :: (b :: _ as tl) -> a <= b && monotone tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps monotone" true (monotone tss);
+  (* every operation Begin has a matching End *)
+  let count p = List.length (List.filter (fun e -> phase e = p) events) in
+  Alcotest.(check int) "balanced B/E" (count "B") (count "E");
+  (* one thread-name record per simulated process *)
+  Alcotest.(check int) "thread names" 3 (count "M");
+  (* mem events are complete slices with args *)
+  List.iter
+    (fun e ->
+      if phase e = "X" then begin
+        Alcotest.(check bool) "X has dur" true (J.member "dur" e <> None);
+        Alcotest.(check bool) "X has args" true (J.member "args" e <> None)
+      end)
+    events
+
+let test_trace_export_file () =
+  let trace = make_trace () in
+  let path = Filename.temp_file "obs_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Trace_export.to_file path trace;
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "file parses" true
+        (match J.parse s with J.Obj _ -> true | _ -> false))
+
+(* {1 The even-length median regression (bench satellite)} *)
+
+let test_median () =
+  let median = Benchkit.Bench_native.median in
+  Alcotest.(check (float 1e-9)) "odd" 2. (median [ 3.; 1.; 2. ]);
+  (* even length: average of the two middle elements, not the upper one *)
+  Alcotest.(check (float 1e-9)) "even" 2.5 (median [ 4.; 1.; 3.; 2. ]);
+  Alcotest.(check (float 1e-9)) "two" 1.5 (median [ 2.; 1. ]);
+  (* NaN samples are dropped before sorting, not allowed to poison it *)
+  Alcotest.(check (float 1e-9)) "nan dropped" 1.5 (median [ nan; 2.; 1.; nan ]);
+  Alcotest.(check bool) "all-nan -> nan" true (Float.is_nan (median [ nan ]));
+  Alcotest.(check bool) "empty -> nan" true (Float.is_nan (median []))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [ ( "histogram buckets",
+        [ Alcotest.test_case "exact below 32" `Quick test_bucket_bounds_small;
+          q qcheck_bucket_contains;
+          q qcheck_bucket_error ] );
+      ( "histogram",
+        [ Alcotest.test_case "exact stats" `Quick test_hist_exact_stats;
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "negative clamps" `Quick test_hist_negative_clamps;
+          q qcheck_percentile_monotone;
+          q qcheck_percentile_in_range;
+          q qcheck_merge_commutes;
+          q qcheck_merge_is_concat ] );
+      ( "metrics",
+        [ Alcotest.test_case "totals" `Quick test_metrics_totals;
+          Alcotest.test_case "domain folding" `Quick test_metrics_domain_folding;
+          Alcotest.test_case "disabled is inert" `Quick test_metrics_disabled;
+          Alcotest.test_case "all counters round-trip" `Quick
+            test_metrics_totals_roundtrip;
+          Alcotest.test_case "parallel single-writer" `Quick
+            test_metrics_parallel_single_writer ] );
+      ( "zero-allocation guard",
+        [ Alcotest.test_case "record sites" `Quick
+            test_disabled_record_allocates_nothing;
+          Alcotest.test_case "metered instances" `Quick
+            test_disabled_metered_instance_allocates_nothing;
+          Alcotest.test_case "histogram record" `Quick
+            test_histogram_record_allocates_nothing ] );
+      ( "json",
+        [ Alcotest.test_case "parse basics" `Quick test_json_parse_basic;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "shortest float repr" `Quick
+            test_float_repr_shortest;
+          q qcheck_float_roundtrip;
+          q qcheck_value_roundtrip ] );
+      ( "trace export",
+        [ Alcotest.test_case "valid, monotone, balanced" `Quick
+            test_trace_export_valid_json;
+          Alcotest.test_case "to_file" `Quick test_trace_export_file ] );
+      ( "bench median",
+        [ Alcotest.test_case "even/odd/nan" `Quick test_median ] ) ]
