@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-all check bench bench-native experiments examples clean doc
+.PHONY: all build test test-all check lint tsan bench bench-native experiments examples clean doc
 
 all: build
 
@@ -17,6 +17,22 @@ test-all:
 # tests + a quick pass over every experiment (sanity gate)
 check: test
 	dune exec bin/repro.exe -- all --quick
+
+# concurrency-discipline linter (R1-R4 over the dune-produced .cmt
+# files; needs an OCaml 5.1 switch -- see lib/lint/dune)
+lint:
+	dune build @default
+	dune exec bin/lint.exe
+
+# run the raw-Atomic test surface under ThreadSanitizer; requires a
+# tsan compiler switch, e.g.:
+#   opam switch create 5.2.1+tsan ocaml-variants.5.2.1+options ocaml-option-tsan
+tsan:
+	dune build @default
+	dune exec test/test_unboxed.exe
+	dune exec test/test_obs.exe
+	dune exec test/test_native.exe
+	dune exec bin/bench.exe -- --quick --max-domains 2 -o /tmp/tsan-bench.json
 
 bench:
 	dune exec bench/main.exe

@@ -434,7 +434,7 @@ let to_json ~cfg rows =
           [ ("ocaml", Json_out.Str Sys.ocaml_version);
             ("word_size", Json_out.Int Sys.word_size);
             ( "recommended_domains",
-              Json_out.Int (Domain.recommended_domain_count ()) ) ] );
+              Json_out.Int (Harness.Throughput.recommended_domains ()) ) ] );
       ( "config",
         Json_out.Obj
           [ ("quick", Json_out.Bool cfg.quick);

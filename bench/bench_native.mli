@@ -1,0 +1,40 @@
+(** The domain-scaling boxed-vs-unboxed benchmark behind [bin/bench.exe]:
+    max registers and counters, boxed (Simval Atomic) vs unboxed (padded
+    int Atomic) backends, swept over domain counts and read shares.
+    Throughput rows are medians of unclocked trials; latency percentiles
+    and contention metrics come from separate metered passes so the timed
+    loops stay unperturbed. *)
+
+type config
+
+val config :
+  ?quick:bool ->
+  ?max_domains:int ->
+  ?seconds:float ->
+  ?trials:int ->
+  ?read_shares:int list ->
+  unit ->
+  config
+(** [quick] (default false) shrinks seconds/trials to CI-smoke values;
+    [max_domains] (default 4) bounds the 1,2,4,.. domain sweep;
+    [seconds]/[trials] override the per-trial duration and trial count;
+    [read_shares] (default [[0; 50; 90; 99]]) is the read-percentage
+    grid. *)
+
+type row
+
+val sweep : ?progress:(string -> unit) -> config -> row list
+(** Run the full sweep; [progress] receives a line per (target, backend)
+    as measurement starts. *)
+
+val median : float list -> float
+(** Median of the finite members (NaN trials are dropped; the middle
+    pair is averaged on even counts).  Exposed for the regression tests
+    pinning exactly that behaviour. *)
+
+val table : row list -> string
+(** Rendered throughput/latency table. *)
+
+val to_json : cfg:config -> row list -> Json_out.t
+(** The machine-readable trajectory (schema "bench-native/v2") consumed
+    by EXPERIMENTS.md and the CI smoke job. *)

@@ -1,0 +1,8 @@
+(** Alias of {!Obs.Json_out} (the JSON value, printer and parser moved
+    below the bench layer when the trace exporter needed it); kept so the
+    historical [Benchkit.Json_out] path and its type equalities keep
+    working for existing callers. *)
+
+include module type of struct
+  include Obs.Json_out
+end

@@ -1,0 +1,67 @@
+(* bin/lint.exe — the concurrency-discipline linter.
+
+     dune build @default && dune exec bin/lint.exe
+     lint [--build-dir _build/default] [--root .]
+          [--rules R1,R2,R3,R4] [--format human|json]
+
+   Walks the dune-produced .cmt files and enforces:
+     R1  atomics containment   (raw Atomic/Obj/Domain only in the
+                                memory layer and allowlisted Unboxed
+                                submodules)
+     R2  progress witness      (unbounded loops / CAS retries in the
+                                algorithm libs must re-read shared
+                                memory)
+     R3  hot-path allocation   (the zero-allocation natives stay
+                                allocation-free, syntactically)
+     R4  interface hygiene     (every lib module has an .mli)
+
+   Exit 0 when clean, 1 when there are violations, 2 on usage or
+   missing-build errors. *)
+
+open Cmdliner
+
+let run build_dir root rules format =
+  if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then begin
+    Printf.eprintf
+      "lint: build dir %s not found; run [dune build @default] first\n"
+      build_dir;
+    exit 2
+  end;
+  let report = Lint.Driver.run ~rules ~build_dir ~root () in
+  (match format with
+   | `Human -> print_string (Lint.Driver.to_human report)
+   | `Json ->
+     print_string (Obs.Json_out.to_string (Lint.Driver.to_json report));
+     print_newline ());
+  if report.Lint.Driver.diagnostics <> [] then exit 1
+
+let build_dir =
+  Arg.(value
+       & opt string "_build/default"
+       & info [ "build-dir" ] ~docv:"DIR"
+           ~doc:"Where dune put the .cmt files.")
+
+let root =
+  Arg.(value
+       & opt string "."
+       & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to lint.")
+
+let rules =
+  Arg.(value
+       & opt (list string) Lint.Driver.all_rules
+       & info [ "rules" ] ~docv:"RULES"
+           ~doc:"Comma-separated subset of R1,R2,R3,R4.")
+
+let format =
+  Arg.(value
+       & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: human (compiler-style) or json.")
+
+let cmd =
+  let doc = "concurrency-discipline linter for the repo's .cmt files" in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(const run $ build_dir $ root $ rules $ format)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,7 @@
+(** A1 — ablating the B1 left subtree of Algorithm A: WriteMax(v) step
+    counts with the paper's B1 shape vs a complete left subtree (the B1
+    shape is what makes small-value writes O(log v) instead of
+    O(log N)). *)
+
+val run : ?ns:int list -> unit -> string
+(** Rendered table over register sizes [ns] (default 64, 1024, 16384). *)

@@ -1,0 +1,7 @@
+(** A2 — ablating the double refresh of Propagate, exhaustively: with
+    [refreshes = 2] every interleaving of two concurrent f-array counter
+    increments ends at count 2; with [refreshes = 1] a measurable
+    fraction of interleavings loses an increment. *)
+
+val run : unit -> string
+(** Rendered table (refreshes/node, interleavings, lost updates). *)

@@ -1,0 +1,8 @@
+(** E1 — max-register step complexity (Theorem 6 / the tradeoff point):
+    exact solo event counts for ReadMax and WriteMax at small, mid and
+    large values, across Algorithm A, the AAC register, the unbounded B1
+    register and the CAS-loop baseline. *)
+
+val run : ?ns:int list -> unit -> string
+(** Rendered table over process counts [ns] (default 16..1024); the value
+    bound is N² per row. *)

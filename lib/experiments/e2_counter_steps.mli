@@ -1,0 +1,18 @@
+(** E2 — counter step complexity envelopes: exact event counts for
+    CounterRead and worst-case CounterIncrement across the AAC, f-array,
+    naive and snapshot-based counters. *)
+
+type row = {
+  impl : string;
+  n : int;
+  read_steps : int;
+  inc_steps : int;  (** worst over processes, after n warm-up increments *)
+}
+
+val measure : Harness.Instances.counter_impl -> n:int -> row
+(** Exact step counts for one implementation at [n] processes (bound
+    4N).  Exposed because E4 uses the measured [read_steps] as the f(N)
+    in Theorem 1's predicted round bound. *)
+
+val run : ?ns:int list -> unit -> string
+(** Rendered table over process counts [ns] (default 4..256). *)

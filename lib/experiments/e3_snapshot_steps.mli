@@ -1,0 +1,6 @@
+(** E3 — snapshot step complexity envelopes: exact event counts for scan
+    and worst-case update across the f-array, double-collect and Afek et
+    al. snapshots, with their wait-freedom status. *)
+
+val run : ?ns:int list -> unit -> string
+(** Rendered table over process counts [ns]. *)

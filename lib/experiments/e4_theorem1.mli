@@ -1,0 +1,10 @@
+(** E4 — the Theorem 1 tradeoff, empirically: the sigma-round adversary
+    against each counter regenerates the lower-bound curve (completing
+    N-1 adversarially scheduled increments takes >= ~log3(N / f(N))
+    rounds), checking Lemma 1 and Lemma 3 on every run. *)
+
+val run :
+  ?on_trace:(Memsim.Trace.t -> unit) -> ?ns:int list -> unit -> string
+(** Rendered table over process counts [ns].  [on_trace] receives each
+    complete adversarial execution trace before analysis (hook for
+    [repro --trace] feeding {!Obs.Trace_export}). *)

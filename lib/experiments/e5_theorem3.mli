@@ -1,0 +1,8 @@
+(** E5 — the Theorem 3 adversary against the CAS-loop max register:
+    perpetually-failing CAS schedules drive a WriteMax to Theta(K) steps,
+    with the essential-process invariants and Lemma 2 checked per round
+    (both the capped and uncapped constructions). *)
+
+val run : ?ks:int list -> unit -> string
+(** Rendered tables over contention parameters [ks] (the uncapped sweep
+    filters [ks] to 32..1024). *)

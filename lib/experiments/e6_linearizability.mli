@@ -1,0 +1,8 @@
+(** E6 — linearizability under random schedules, for every max-register,
+    counter and snapshot implementation.  Violations are expected ONLY
+    for the literal (paper line 16) Algorithm A early return, which this
+    experiment exhibits. *)
+
+val run : ?schedules:int -> unit -> string
+(** Rendered table; [schedules] overrides the per-row schedule counts
+    (default 400 for max registers, 200 otherwise). *)

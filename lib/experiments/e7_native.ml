@@ -75,7 +75,7 @@ let counter_rows ~domains ~seconds =
       Harness.Instances.Naive_counter ]
 
 let sweep ?(seconds = 0.3) () =
-  let domains = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let domains = Harness.Throughput.recommended_domains ~floor:2 ~cap:4 () in
   maxreg_rows ~domains ~seconds @ counter_rows ~domains ~seconds
 
 let table rows =

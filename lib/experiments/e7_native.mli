@@ -1,0 +1,8 @@
+(** E7 — the practical payoff of O(1) reads on real parallel hardware:
+    wall-clock throughput of read-heavy and write-heavy mixes over the
+    native (OCaml 5 Atomic) max registers and counters, measured through
+    {!Harness.Throughput}.  For the full domain-scaling sweep see
+    [bin/bench.exe]. *)
+
+val run : ?seconds:float -> unit -> string
+(** Rendered table; [seconds] per measured mix (default 0.3). *)

@@ -1,0 +1,8 @@
+(** E8 — the information-flow lemmas, directly: (a) Lemma 1's
+    familiarity-set growth factor (<= 3 per sigma-round) measured on the
+    f-array counter, and (b) Lemma 3 under the paper's literal
+    Definition 1 vs the repaired visibility rule on the AAC counter (the
+    literal definition loses the flow). *)
+
+val run : ?n:int -> unit -> string
+(** Rendered tables at [n] processes (default 32). *)

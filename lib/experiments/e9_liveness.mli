@@ -1,0 +1,8 @@
+(** E9 — liveness audit: solo completion (obstruction-freedom plus the
+    residual step bound) and completion against an endless interferer
+    (wait-freedom) for every implementation.  The CAS-loop register and
+    the double-collect scan are expected to fail the interference test —
+    they are lock-free/obstruction-free, not wait-free. *)
+
+val run : unit -> string
+(** Rendered table. *)

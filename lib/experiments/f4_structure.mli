@@ -1,0 +1,6 @@
+(** F4 — the data structure of Figure 4, audited: leaf depths of the
+    composite tree (the v-th B1 leaf at depth O(log v), every complete
+    right-subtree leaf at ~log N). *)
+
+val run : ?n:int -> unit -> string
+(** Rendered table at register size [n] (default 1024). *)

@@ -106,6 +106,12 @@ let run_batched ?(now = Unix.gettimeofday) ?(sleep = Unix.sleepf) ~domains
 let run_mix ~domains ~seconds ~op =
   run_batched ~domains ~seconds ~batch:1 ~op ()
 
+(* Centralized so callers (experiments, bench drivers) need no direct
+   [Domain] reference — rule R1 of bin/lint.exe confines the Domain API
+   to this module. *)
+let recommended_domains ?(floor = 1) ?(cap = max_int) () =
+  max floor (min cap (Domain.recommended_domain_count ()))
+
 (* {1 Latency-recording runner}
 
    Same protocol as [run_batched], but each worker additionally times

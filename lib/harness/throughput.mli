@@ -13,6 +13,12 @@
     true window, and operations executed between [sleepf] returning and
     the workers' next stop check were counted outside it. *)
 
+val recommended_domains : ?floor:int -> ?cap:int -> unit -> int
+(** [Domain.recommended_domain_count] clamped to [[floor, cap]]
+    (defaults: no clamping).  Call this rather than the [Domain] API —
+    rule R1 of [bin/lint.exe] confines raw [Domain]/[Atomic] references
+    to the memory layer, the observability layer and this harness. *)
+
 val run_mix : domains:int -> seconds:float -> op:(int -> int -> unit) -> float
 (** Spawn [domains] domains, each calling [op d i] (domain index, local
     iteration counter) in a loop for [seconds]; return operations per

@@ -1,0 +1,55 @@
+type t = {
+  source : string;
+  modname : string;
+  structure : Typedtree.structure;
+}
+
+(* dune wraps library modules as Lib__Module; the linter reasons about
+   the display name a human writes in source.  Split on the last "__",
+   not the last '_': "Maxreg__Cas_maxreg" -> "Cas_maxreg". *)
+let display_name modname =
+  let n = String.length modname in
+  let rec last_sep i best =
+    if i >= n - 1 then best
+    else if modname.[i] = '_' && modname.[i + 1] = '_' then last_sep (i + 1) (Some i)
+    else last_sep (i + 1) best
+  in
+  match last_sep 0 None with
+  | Some i when i + 2 < n -> String.sub modname (i + 2) (n - i - 2)
+  | _ -> modname
+
+let load path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> None
+  | cmt ->
+    (match cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile with
+     | Cmt_format.Implementation structure, Some source ->
+       Some { source; modname = display_name cmt.Cmt_format.cmt_modname; structure }
+     | _ -> None)
+
+let scan ~build_dir =
+  let units = ref [] in
+  let seen = Hashtbl.create 64 in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+      Array.sort String.compare entries;
+      Array.iter
+        (fun entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk path
+          else if Filename.check_suffix entry ".cmt" then
+            match load path with
+            | None -> ()
+            | Some u ->
+              (* dune can produce several cmts per source (e.g. an alias
+                 module compiled for multiple stanzas); keep the first. *)
+              if not (Hashtbl.mem seen u.source) then begin
+                Hashtbl.add seen u.source ();
+                units := u :: !units
+              end)
+        entries
+  in
+  walk build_dir;
+  List.sort (fun a b -> String.compare a.source b.source) !units

@@ -1,0 +1,24 @@
+(** Loading dune-produced [.cmt] files into lintable units.  The typed
+    tree (not the parsetree) is what makes the rules reliable: paths are
+    resolved, so [Atomic.get] and [Stdlib.Atomic.get] and an
+    [open Atomic] all surface as the same resolved path. *)
+
+type t = {
+  source : string;
+      (** repo-relative source path as recorded by dune
+          (e.g. "lib/maxreg/algorithm_a.ml") *)
+  modname : string;
+      (** display module name: "Maxreg__Cas_maxreg" -> "Cas_maxreg" *)
+  structure : Typedtree.structure;
+}
+
+val display_name : string -> string
+(** Strip a dune wrapping prefix: ["Lib__Mod"] -> ["Mod"]. *)
+
+val load : string -> t option
+(** Read one [.cmt]; [None] for interfaces, partial cmts, or unreadable
+    files (version skew) — the driver skips those silently. *)
+
+val scan : build_dir:string -> t list
+(** All implementation units under [build_dir] (recursive), deduplicated
+    by source path, sorted by source path. *)

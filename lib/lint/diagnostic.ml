@@ -1,0 +1,44 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let v ~rule ~loc message =
+  let p = loc.Location.loc_start in
+  { rule;
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message }
+
+let at ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+(* file, then position, then rule: output reads like compiler errors,
+   grouped by file.  [compare] is also the dedup key (R3's loop scan can
+   visit a nested loop's body twice). *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_human d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+let to_json d =
+  Obs.Json_out.Obj
+    [ ("rule", Obs.Json_out.Str d.rule);
+      ("file", Obs.Json_out.Str d.file);
+      ("line", Obs.Json_out.Int d.line);
+      ("col", Obs.Json_out.Int d.col);
+      ("message", Obs.Json_out.Str d.message) ]

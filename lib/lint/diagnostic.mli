@@ -1,0 +1,23 @@
+(** A lint finding: rule id, source span, message.  Rendered either
+    compiler-style ([file:line:col: [R1] message], clickable in editors
+    and CI logs) or as a JSON object for machine consumers. *)
+
+type t = {
+  rule : string;
+  file : string;  (** repo-relative source path *)
+  line : int;     (** 1-based *)
+  col : int;      (** 0-based, as compilers print it *)
+  message : string;
+}
+
+val v : rule:string -> loc:Location.t -> string -> t
+(** Diagnostic at the start of a typedtree location. *)
+
+val at : rule:string -> file:string -> line:int -> col:int -> string -> t
+
+val compare : t -> t -> int
+(** Orders by file, position, rule, message — the output order and the
+    dedup key. *)
+
+val to_human : t -> string
+val to_json : t -> Obs.Json_out.t

@@ -1,0 +1,56 @@
+type report = {
+  diagnostics : Diagnostic.t list;
+  units_scanned : int;
+}
+
+let all_rules = [ "R1"; "R2"; "R3"; "R4" ]
+
+let in_scope (config : Config.t) source =
+  List.exists
+    (fun d ->
+      String.equal source d
+      || (String.length source > String.length d
+          && String.sub source 0 (String.length d) = d
+          && source.[String.length d] = '/'))
+    config.scope_dirs
+
+let run ?(config = Config.default) ?(rules = all_rules) ~build_dir ~root () =
+  let units =
+    Cmt_unit.scan ~build_dir
+    |> List.filter (fun (u : Cmt_unit.t) ->
+           in_scope config u.source
+           (* a cmt can outlive its source (file deleted or renamed
+              without a clean); lint the tree as it is now *)
+           && Sys.file_exists (Filename.concat root u.source))
+  in
+  let want r = List.mem r rules in
+  let diags = ref [] in
+  List.iter
+    (fun u ->
+      if want "R1" then diags := Rules.r1 ~config u @ !diags;
+      if want "R2" then diags := Rules.r2 ~config u @ !diags;
+      if want "R3" then diags := Rules.r3 ~config u @ !diags)
+    units;
+  if want "R4" then diags := Rules.r4 ~config ~root () @ !diags;
+  { diagnostics = List.sort_uniq Diagnostic.compare !diags;
+    units_scanned = List.length units }
+
+let to_json { diagnostics; units_scanned } =
+  Obs.Json_out.Obj
+    [ ("schema", Obs.Json_out.Str "lint/v1");
+      ("units_scanned", Obs.Json_out.Int units_scanned);
+      ("violations", Obs.Json_out.Int (List.length diagnostics));
+      ("diagnostics",
+       Obs.Json_out.List (List.map Diagnostic.to_json diagnostics)) ]
+
+let to_human { diagnostics; units_scanned } =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string b (Diagnostic.to_human d);
+      Buffer.add_char b '\n')
+    diagnostics;
+  Buffer.add_string b
+    (Printf.sprintf "lint: %d unit(s) scanned, %d violation(s)\n"
+       units_scanned (List.length diagnostics));
+  Buffer.contents b

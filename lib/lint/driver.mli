@@ -1,0 +1,30 @@
+(** Orchestration: scan a dune build dir for [.cmt]s, filter to
+    in-scope sources that still exist, run the requested rules, and
+    render the report. *)
+
+type report = {
+  diagnostics : Diagnostic.t list;  (** sorted, deduplicated *)
+  units_scanned : int;
+}
+
+val all_rules : string list
+(** [["R1"; "R2"; "R3"; "R4"]] *)
+
+val run :
+  ?config:Config.t ->
+  ?rules:string list ->
+  build_dir:string ->
+  root:string ->
+  unit ->
+  report
+(** [run ~build_dir ~root ()] lints the tree rooted at [root] using the
+    [.cmt]s under [build_dir] (typically [_build/default]).  [config]
+    defaults to {!Config.default}; [rules] to {!all_rules}.  Unknown
+    rule names are ignored. *)
+
+val to_json : report -> Obs.Json_out.t
+(** Schema ["lint/v1"]. *)
+
+val to_human : report -> string
+(** Compiler-style [file:line:col: [rule] message] lines plus a summary
+    line. *)

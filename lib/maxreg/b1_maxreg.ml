@@ -23,20 +23,13 @@ module Make (M : Smem.Memory_intf.MEMORY) = struct
     | Split of { switch : M.t; lo : tree; hi : tree; pivot : int }
         (* values < pivot on [lo], >= pivot on [hi] *)
 
-  and tree = { cell : node option Atomic.t; make : unit -> node }
-
-  let lazy_tree make = { cell = Atomic.make None; make }
+  and tree = node Smem.Lazy_cell.t
 
   (* Domain-safe memoization: concurrent forcing may build a duplicate
-     node, but exactly one wins the CAS and the loser's registers are
-     never touched again. *)
-  let force t =
-    match Atomic.get t.cell with
-    | Some n -> n
-    | None ->
-      let n = t.make () in
-      if Atomic.compare_and_set t.cell None (Some n) then n
-      else Option.get (Atomic.get t.cell)
+     node, but exactly one wins the cell's CAS and the loser's registers
+     are never touched again. *)
+  let lazy_tree = Smem.Lazy_cell.make
+  let force = Smem.Lazy_cell.force
 
   (* Complete subtree over [lo, hi). *)
   let rec complete lo hi =

@@ -1,0 +1,20 @@
+(** Domain-safe lazy memoization ([Stdlib.Lazy] is not safe under
+    concurrent forcing).  Used for lazily-materialized register trees
+    (the B1 max register's spine): racing forcers may each run the
+    builder, but exactly one result wins the internal CAS and [force]
+    returns the same physical value to every caller, forever.
+
+    The builder must tolerate being invoked more than once under a race;
+    losing results are dropped unobserved.  Keep raw [Atomic] out of
+    algorithm code by going through this module — rule R1 of
+    [bin/lint.exe] enforces it. *)
+
+type 'a t
+
+val make : (unit -> 'a) -> 'a t
+(** [make build] is an unforced cell.  [build] runs on first {!force}
+    (possibly more than once under a forcing race — exactly one result
+    is kept). *)
+
+val force : 'a t -> 'a
+(** Memoized value; builds it on first call. *)

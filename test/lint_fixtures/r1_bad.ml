@@ -1,0 +1,12 @@
+(* R1 fixture: raw concurrency primitives outside any allowlist.
+   Expected: one diagnostic per banned identifier/type/alias below. *)
+
+let cell = Atomic.make 0
+
+let bump () = Atomic.incr cell
+
+type holder = { slot : int Atomic.t }
+
+module A = Atomic
+
+let self () = Domain.self ()

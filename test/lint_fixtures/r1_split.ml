@@ -1,0 +1,11 @@
+(* R1 fixture for submodule granularity: the [Unboxed] submodule is
+   allowlisted in the test config (Module_path ["R1_split"; "Unboxed"]),
+   the toplevel use of Atomic is not.  Expected: exactly one diagnostic,
+   on [stray]. *)
+
+module Unboxed = struct
+  let cell = Atomic.make 0
+  let get () = Atomic.get cell
+end
+
+let stray = Atomic.make 1

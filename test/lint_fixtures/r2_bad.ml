@@ -1,0 +1,22 @@
+(* R2 fixtures: loops and retries that can never observe another
+   process's step.
+
+   [spin] busy-waits on nothing shared: no read, no CAS, no exit.
+   [retry] CASes against a value it captured once and never re-reads,
+   so every recursive attempt replays the same stale exchange.
+   [ok_spin] re-reads shared memory each iteration and must NOT be
+   flagged. *)
+
+let spin () =
+  while true do
+    ignore (Sys.opaque_identity 0)
+  done
+
+let rec retry cell seen =
+  if Atomic.compare_and_set cell seen (seen + 1) then ()
+  else retry cell seen
+
+let ok_spin cell =
+  while true do
+    if Atomic.get cell > 0 then raise Exit
+  done

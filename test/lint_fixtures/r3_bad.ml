@@ -1,0 +1,22 @@
+(* R3 fixtures.  The test config names [hot] (Body mode) and [loops]
+   (Loops mode); [unchecked] allocates identically but is not a target
+   and must stay silent.
+
+   [hot]: Some x is an allocating constructor -> flagged.
+   [loops]: the while body calls List.length on a fresh list literal ->
+   flagged; the [!acc] list built after the loops is epilogue and must
+   NOT be flagged. *)
+
+let hot x = Some x
+
+let unchecked x = Some x
+
+let loops n =
+  let acc = ref 0 in
+  for i = 0 to n do
+    acc := !acc + i
+  done;
+  while !acc > 0 do
+    acc := !acc - List.length [ 1; 2 ]
+  done;
+  [ !acc ]

@@ -1,0 +1,167 @@
+(* The linter's own test suite.
+
+   Two layers:
+   - fixture tests: run the rules over test/lint_fixtures/ (built with
+     warnings off; every file deliberately violates one rule) with a
+     config that scopes to that directory, and compare against golden
+     diagnostics;
+   - the meta-test: the repo itself must be lint-clean under the
+     default config, so a violation anywhere in lib/bin/bench fails
+     [dune runtest], not just the CI lint job. *)
+
+(* dune runs tests from _build/default/test; walk up to the directory
+   holding dune-project to find both the repo root and the build dir. *)
+let repo_root =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then failwith "test_lint: repo root not found"
+      else up parent
+  in
+  up (Sys.getcwd ())
+
+let fixture_dir = "test/lint_fixtures"
+
+let fixture_build_dir =
+  Filename.concat repo_root ("_build/default/" ^ fixture_dir)
+
+let fixture_config =
+  { Lint.Config.default with
+    scope_dirs = [ fixture_dir ];
+    r1_allow = [ Lint.Config.Module_path [ "R1_split"; "Unboxed" ] ];
+    r2_dirs = [ fixture_dir ];
+    r3_targets =
+      [ { qual = [ "R3_bad"; "hot" ]; mode = Lint.Config.Body };
+        { qual = [ "R3_bad"; "loops" ]; mode = Lint.Config.Loops } ];
+    r4_dirs = [ fixture_dir ];
+    r4_allow = [] }
+
+let run_fixtures ?rules () =
+  Lint.Driver.run ~config:fixture_config ?rules
+    ~build_dir:fixture_build_dir ~root:repo_root ()
+
+let by_rule rule (r : Lint.Driver.report) =
+  List.filter (fun d -> d.Lint.Diagnostic.rule = rule) r.diagnostics
+
+let in_file file ds =
+  List.filter (fun d -> d.Lint.Diagnostic.file = file) ds
+
+(* ------------------------------------------------------------------ *)
+
+let test_fixtures_built () =
+  let r = run_fixtures () in
+  Alcotest.(check bool)
+    "fixture cmts found (build @default before runtest)" true
+    (r.units_scanned >= 4)
+
+let test_r1_flags_raw_primitives () =
+  let ds = by_rule "R1" (run_fixtures ~rules:[ "R1" ] ()) in
+  let bad = in_file (fixture_dir ^ "/r1_bad.ml") ds in
+  (* Atomic.make, Atomic.incr, the Atomic.t type, the module alias,
+     Domain.self *)
+  Alcotest.(check int) "r1_bad violation count" 5 (List.length bad);
+  let lines = List.map (fun d -> d.Lint.Diagnostic.line) bad in
+  Alcotest.(check (list int)) "r1_bad violation lines" [ 4; 6; 8; 10; 12 ]
+    lines
+
+let test_r1_submodule_allowlist () =
+  let ds = by_rule "R1" (run_fixtures ~rules:[ "R1" ] ()) in
+  let split = in_file (fixture_dir ^ "/r1_split.ml") ds in
+  (* everything inside Unboxed is allowlisted; only [stray] trips *)
+  Alcotest.(check int) "r1_split violation count" 1 (List.length split);
+  Alcotest.(check int) "r1_split violation line" 11
+    (List.hd split).Lint.Diagnostic.line
+
+let test_r2_spin_and_stale_retry () =
+  let ds = by_rule "R2" (run_fixtures ~rules:[ "R2" ] ()) in
+  let bad = in_file (fixture_dir ^ "/r2_bad.ml") ds in
+  Alcotest.(check int) "r2_bad violation count" 2 (List.length bad);
+  let lines = List.map (fun d -> d.Lint.Diagnostic.line) bad in
+  (* [spin]'s while-true and [retry]'s binding; [ok_spin] (line 19+)
+     re-reads and stays silent *)
+  Alcotest.(check (list int)) "r2_bad violation lines" [ 11; 15 ] lines
+
+let test_r3_hot_path_allocations () =
+  let ds = by_rule "R3" (run_fixtures ~rules:[ "R3" ] ()) in
+  let bad = in_file (fixture_dir ^ "/r3_bad.ml") ds in
+  let lines =
+    List.sort_uniq Int.compare
+      (List.map (fun d -> d.Lint.Diagnostic.line) bad)
+  in
+  (* [hot]'s Some (line 10) and the list literal in [loops]'s while
+     body (line 20); [unchecked] (line 12) and the epilogue list
+     (line 22) stay silent *)
+  Alcotest.(check (list int)) "r3_bad violation lines" [ 10; 20 ] lines
+
+let test_r4_missing_interfaces () =
+  let ds = by_rule "R4" (run_fixtures ~rules:[ "R4" ] ()) in
+  let files = List.map (fun d -> d.Lint.Diagnostic.file) ds in
+  Alcotest.(check (list string)) "r4 flags every fixture module"
+    [ fixture_dir ^ "/r1_bad.ml";
+      fixture_dir ^ "/r1_split.ml";
+      fixture_dir ^ "/r2_bad.ml";
+      fixture_dir ^ "/r3_bad.ml" ]
+    files
+
+(* Golden rendering: the full human report for the fixture tree, pinned
+   in test/lint_fixtures/expected.golden.  Catches drift in message
+   wording, ordering, dedup, and the file:line:col format that CI logs
+   and editors rely on.  Regenerate with LINT_GOLDEN_UPDATE=1 after an
+   intentional change, and review the diff like any other code. *)
+let golden_path =
+  Filename.concat repo_root (fixture_dir ^ "/expected.golden")
+
+let test_golden_human_output () =
+  let actual = Lint.Driver.to_human (run_fixtures ()) in
+  if Sys.getenv_opt "LINT_GOLDEN_UPDATE" = Some "1" then begin
+    let oc = open_out golden_path in
+    output_string oc actual;
+    close_out oc
+  end;
+  let ic = open_in_bin golden_path in
+  let expected = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string)
+    "golden diagnostics (LINT_GOLDEN_UPDATE=1 to regenerate)" expected
+    actual
+
+let test_json_shape () =
+  let j = Lint.Driver.to_json (run_fixtures ()) in
+  match Obs.Json_out.member "schema" j with
+  | Some (Obs.Json_out.Str "lint/v1") -> (
+    match Obs.Json_out.member "diagnostics" j with
+    | Some (Obs.Json_out.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "diagnostics array missing/empty")
+  | _ -> Alcotest.fail "schema tag missing"
+
+(* ------------------------------------------------------------------ *)
+
+let test_repo_is_lint_clean () =
+  let r =
+    Lint.Driver.run
+      ~build_dir:(Filename.concat repo_root "_build/default")
+      ~root:repo_root ()
+  in
+  Alcotest.(check (list string)) "repo lints clean" []
+    (List.map Lint.Diagnostic.to_human r.diagnostics)
+
+let () =
+  Alcotest.run "lint"
+    [ ("fixtures",
+       [ Alcotest.test_case "cmts built" `Quick test_fixtures_built;
+         Alcotest.test_case "R1 raw primitives" `Quick
+           test_r1_flags_raw_primitives;
+         Alcotest.test_case "R1 submodule allowlist" `Quick
+           test_r1_submodule_allowlist;
+         Alcotest.test_case "R2 spin + stale retry" `Quick
+           test_r2_spin_and_stale_retry;
+         Alcotest.test_case "R3 hot-path allocation" `Quick
+           test_r3_hot_path_allocations;
+         Alcotest.test_case "R4 missing interfaces" `Quick
+           test_r4_missing_interfaces;
+         Alcotest.test_case "golden human output" `Quick
+           test_golden_human_output;
+         Alcotest.test_case "json shape" `Quick test_json_shape ]);
+      ("meta", [ Alcotest.test_case "repo lint-clean" `Quick
+                   test_repo_is_lint_clean ]) ]
