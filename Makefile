@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-all check lint tsan bench bench-native experiments examples clean doc
+.PHONY: all build test test-all check lint tsan chaos bench bench-native experiments examples clean doc
 
 all: build
 
@@ -33,6 +33,12 @@ tsan:
 	dune exec test/test_obs.exe
 	dune exec test/test_native.exe
 	dune exec bin/bench.exe -- --quick --max-domains 2 -o /tmp/tsan-bench.json
+
+# fault sweeps (exhaustive, simulator) + native chaos soak (~1 min)
+chaos:
+	dune exec bin/stress.exe -- --impl algorithm-a --procs 3 --readers 2 --fault-sweep
+	dune exec bin/stress.exe -- --impl cas-loop --procs 3 --readers 1 --fault-sweep
+	dune exec bin/stress.exe -- --chaos 42
 
 bench:
 	dune exec bench/main.exe

@@ -424,7 +424,10 @@ let metrics_json (m : Obs.Metrics.totals) =
       ("refresh_rounds", Obs.Json_out.Int m.refresh_rounds);
       ("helps", Obs.Json_out.Int m.helps);
       ("op_reads", Obs.Json_out.Int m.op_reads);
-      ("op_updates", Obs.Json_out.Int m.op_updates) ]
+      ("op_updates", Obs.Json_out.Int m.op_updates);
+      ("fault_yields", Obs.Json_out.Int m.fault_yields);
+      ("fault_gcs", Obs.Json_out.Int m.fault_gcs);
+      ("fault_stalls", Obs.Json_out.Int m.fault_stalls) ]
 
 let to_json ~cfg rows =
   Json_out.Obj

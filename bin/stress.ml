@@ -3,13 +3,26 @@
      stress --object maxreg --impl algorithm-a --procs 4 --seeds 1000
      stress --object counter --impl farray --readers 2
      stress --object snapshot --impl afek
+     stress --impl algorithm-a --faults 'crash:0@2,stall:1@0+50'
+     stress --impl cas-loop --procs 3 --fault-sweep
+     stress --chaos 42
 
    Each seed builds a fresh instance, runs a random schedule over mixed
    operations, extracts the history and checks it with the Wing-Gong
    checker.  Violating seeds are printed (and the exit code is non-zero),
    making this usable for soak testing and for bisecting new
    implementations.  Keep --procs small: checking cost grows exponentially
-   with concurrency. *)
+   with concurrency.
+
+   --faults runs every seed under a fault plan (crashes and spurious CAS
+   failures instrument the bodies; stalls and halts gate the scheduler);
+   surviving histories are checked as-is — a crashed operation is pending
+   and may take effect or be dropped (crash-restricted linearizability).
+   On violation both the plan and the schedule are minimized to a
+   replayable repro.  --fault-sweep verifies every single-crash plan
+   exhaustively under DPOR and every single-stall plan under the gated
+   explorer.  --chaos leaves the simulator entirely: multi-domain runs on
+   the native backend under deterministic preemption/GC injection. *)
 
 open Memsim
 
@@ -68,21 +81,44 @@ let scenario_snapshot ~impl ~procs ~readers ~value_range ~seed =
     check =
       Linearize.Checker.check_trace (module Linearize.Spec.Snapshot) ~n:procs }
 
-(* Run one random schedule; on violation, delta-debug the schedule down to
-   a locally-minimal repro and print it.  Returns whether the seed passed
-   plus the trace worth keeping for --trace export: the minimized violating
-   execution, or the full passing one. *)
-let run_seed { session; make_body; check } ~procs ~seed =
+(* One faulted (or unfaulted) random run: crashes/CAS-failures instrument
+   the bodies, stalls/halts gate the scheduler.  Deterministic in
+   (scenario, plan, seed), which is what plan minimization replays. *)
+let run_once { session; make_body; check } ~plan ~procs ~seed =
+  Store.reset (Session.store session);
   let sched = Scheduler.create session in
+  let body = Faults.instrument plan make_body in
   for pid = 0 to procs - 1 do
-    ignore (Scheduler.spawn sched (make_body pid))
+    ignore (Scheduler.spawn sched (body pid))
   done;
-  Scheduler.run_random ~seed ~max_events:1_000_000 sched;
+  (if plan = [] then Scheduler.run_random ~seed ~max_events:1_000_000 sched
+   else Faults.run_random ~seed ~max_events:1_000_000 sched (Faults.gate plan));
   let trace = Scheduler.finish sched in
-  if check trace then (true, trace)
+  (check trace, trace)
+
+(* Run one random schedule; on violation, minimize the fault plan (does
+   the same seed still fail under a smaller plan?) and then delta-debug
+   the schedule down to a locally-minimal repro and print both.  Returns
+   whether the seed passed plus the trace worth keeping for --trace
+   export: the minimized violating execution, or the full passing one. *)
+let run_seed ({ session; make_body; check } as scen) ~plan ~procs ~seed =
+  let ok, trace = run_once scen ~plan ~procs ~seed in
+  if ok then (true, trace)
   else begin
+    let min_plan =
+      if plan = [] then []
+      else
+        Faults.minimize
+          ~test:(fun p -> not (fst (run_once scen ~plan:p ~procs ~seed)))
+          plan
+    in
+    let _, trace =
+      if min_plan == plan then (false, trace)
+      else run_once scen ~plan:min_plan ~procs ~seed
+    in
+    let body = Faults.instrument min_plan make_body in
     let minimal, min_trace =
-      Shrink.counterexample session ~n:procs ~make_body ~check
+      Shrink.counterexample session ~n:procs ~make_body:body ~check
         (Trace.schedule trace)
     in
     Printf.printf
@@ -92,6 +128,9 @@ let run_seed { session; make_body; check } ~procs ~seed =
       (List.length minimal)
       (List.length (Trace.schedule trace))
       (String.concat " " (List.map string_of_int minimal));
+    if plan <> [] then
+      Printf.printf "replayable fault plan: --faults '%s' (given: '%s')\n"
+        (Faults.to_string min_plan) (Faults.to_string plan);
     Fmt.pr "%a@." Trace.pp min_trace;
     (false, min_trace)
   end
@@ -129,10 +168,78 @@ let lookup_impl kind impl_name =
     | None -> fail ())
   | _ -> `Error (false, Printf.sprintf "unknown object kind %S" kind)
 
-let stress kind impl_name procs readers seeds value_range trace_file =
-  match lookup_impl kind impl_name with
-  | `Error _ as e -> e
-  | (`Maxreg _ | `Counter _ | `Snapshot _) as target ->
+(* {1 Exhaustive single-fault sweeps}
+
+   Every 1-crash plan under DPOR (a crash is a program transformation, so
+   DPOR's pruning stays sound over the instrumented bodies) and every
+   1-stall plan under the gated explorer.  Surviving histories must
+   linearize in every execution.  Exhaustive: keep --procs small. *)
+
+let fault_sweep target kind impl_name procs readers value_range =
+  let scen =
+    match target with
+    | `Maxreg i -> scenario_maxreg ~impl:i ~procs ~readers ~value_range ~seed:1
+    | `Counter i -> scenario_counter ~impl:i ~procs ~readers ~seed:1
+    | `Snapshot i -> scenario_snapshot ~impl:i ~procs ~readers ~value_range ~seed:1
+  in
+  let counts = Explore.solo_counts scen.session ~n:procs ~make_body:scen.make_body in
+  let crash_plans = Faults.single_crash_plans ~counts in
+  (* stalls starting beyond the longest possible execution never bind *)
+  let max_point = Array.fold_left ( + ) 0 counts in
+  let stall_points = 5 in
+  let stall_plans =
+    Faults.single_stall_plans ~n:procs ~max_point ~points:stall_points
+  in
+  let bad = ref [] in
+  let classes = ref 0 in
+  let scheds = ref 0 in
+  List.iter
+    (fun plan ->
+      let ok = ref true in
+      let stats =
+        Dpor.run scen.session ~n:procs
+          ~make_body:(Faults.instrument plan scen.make_body)
+          ~on_complete:(fun t -> if not (scen.check t) then ok := false; true)
+          ()
+      in
+      classes := !classes + stats.Dpor.explored;
+      if stats.Dpor.truncated || not !ok then bad := plan :: !bad)
+    crash_plans;
+  List.iter
+    (fun plan ->
+      let ok = ref true in
+      let stats =
+        Faults.explore scen.session ~n:procs ~make_body:scen.make_body ~plan
+          ~max_events:(2 * (max_point + stall_points) + 64)
+          ~on_complete:(fun t -> if not (scen.check t) then ok := false; true)
+          ()
+      in
+      scheds := !scheds + stats.Explore.explored;
+      if stats.Explore.truncated || not !ok then bad := plan :: !bad)
+    stall_plans;
+  Printf.printf
+    "%s/%s fault sweep, %d processes (%d readers): %d crash plans (%d dpor \
+     classes), %d stall plans (%d schedules): %d violating plans%s\n"
+    kind impl_name procs readers
+    (List.length crash_plans)
+    !classes
+    (List.length stall_plans)
+    !scheds
+    (List.length !bad)
+    (match !bad with
+     | [] -> ""
+     | ps ->
+       ": "
+       ^ String.concat "; "
+           (List.map (fun p -> "--faults '" ^ Faults.to_string p ^ "'")
+              (List.rev ps)));
+  if !bad = [] then `Ok () else `Error (false, "fault sweep found violations")
+
+let stress kind impl_name procs readers seeds value_range trace_file faults_str =
+  match (lookup_impl kind impl_name, Faults.parse faults_str) with
+  | (`Error _ as e), _ -> e
+  | _, Error msg -> `Error (false, "bad --faults plan: " ^ msg)
+  | ((`Maxreg _ | `Counter _ | `Snapshot _) as target), Ok plan ->
     let violations = ref [] in
     (* For --trace: the first minimized violating execution wins (that is
        the one worth staring at in a viewer); otherwise the last passing
@@ -147,15 +254,18 @@ let stress kind impl_name procs readers seeds value_range trace_file =
         | `Snapshot i ->
           scenario_snapshot ~impl:i ~procs ~readers ~value_range ~seed
       in
-      let ok, trace = run_seed scen ~procs ~seed in
+      let ok, trace = run_seed scen ~plan ~procs ~seed in
       if ok then last_trace := Some trace
       else begin
         violations := seed :: !violations;
         if !violation_trace = None then violation_trace := Some trace
       end
     done;
-    Printf.printf "%s/%s: %d seeds, %d processes (%d readers): %d violations%s\n"
+    Printf.printf
+      "%s/%s: %d seeds, %d processes (%d readers)%s: %d violations%s\n"
       kind impl_name seeds procs readers
+      (if plan = [] then ""
+       else Printf.sprintf " under faults '%s'" (Faults.to_string plan))
       (List.length !violations)
       (match !violations with
        | [] -> ""
@@ -180,6 +290,143 @@ let stress kind impl_name procs readers seeds value_range trace_file =
            path
        | None, None -> ()));
     if !violations = [] then `Ok () else `Error (false, "violations found")
+
+(* {1 Native chaos mode}
+
+   Leaves the simulator entirely: real domains over the boxed native
+   backend, with deterministic preemption/GC injection at every memory-op
+   boundary (Harness.Chaos).  Two layers: short stamped bursts whose full
+   histories go through the Wing-Gong checker, then invariant runs at
+   scale (exact counter totals, monotone max-register reads, per-segment
+   monotone snapshot scans) where complete histories would be far beyond
+   the checker's reach. *)
+
+let chaos ~seed ~ops =
+  let domains = 4 in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let metrics = Obs.Metrics.create ~domains () in
+  (* aggressive rates for the short bursts, so every burst sees faults *)
+  let burst_cfg s =
+    Harness.Chaos.config ~yield_ppm:200_000 ~storm:32 ~gc_ppm:50_000
+      ~gc_bytes:2048 ~metrics ~seed:s ()
+  in
+  let burst_seeds = List.init 8 (fun i -> seed + i) in
+  List.iter
+    (fun s ->
+      let c = burst_cfg s in
+      let reg =
+        Harness.Chaos.maxreg c ~n:3 ~bound:64 Harness.Instances.Algorithm_a
+      in
+      let h = Harness.Chaos.burst_maxreg c ~domains:3 ~ops_per_domain:8 reg in
+      if not (Linearize.Checker.check (module Linearize.Spec.Max_register) ~n:3 h)
+      then fail "maxreg burst (seed %d) not linearizable" s;
+      let cnt =
+        Harness.Chaos.counter c ~n:3 ~bound:64 Harness.Instances.Farray_counter
+      in
+      let h = Harness.Chaos.burst_counter c ~domains:3 ~ops_per_domain:8 cnt in
+      if not (Linearize.Checker.check (module Linearize.Spec.Counter) ~n:3 h)
+      then fail "counter burst (seed %d) not linearizable" s;
+      let sn =
+        Harness.Chaos.snapshot c ~n:3 Harness.Instances.Farray_snapshot
+      in
+      let h = Harness.Chaos.burst_snapshot c ~domains:3 ~ops_per_domain:6 sn in
+      if not (Linearize.Checker.check (module Linearize.Spec.Snapshot) ~n:3 h)
+      then fail "snapshot burst (seed %d) not linearizable" s)
+    burst_seeds;
+  (* invariant runs at scale, production injection rates *)
+  let c = Harness.Chaos.config ~metrics ~seed () in
+  let per_domain = max 1 (ops / domains) in
+  let cnt =
+    Harness.Chaos.counter c ~n:domains ~bound:(1 lsl 30)
+      Harness.Instances.Farray_counter
+  in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains (fun pid ->
+        for _ = 1 to per_domain do
+          cnt.increment ~pid
+        done)
+  in
+  if cnt.read () <> domains * per_domain then
+    fail "counter total %d, expected %d" (cnt.read ()) (domains * per_domain);
+  let reg =
+    Harness.Chaos.maxreg c ~n:domains ~bound:(1 lsl 30)
+      Harness.Instances.Algorithm_a
+  in
+  let reads_monotone = ref true in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains (fun pid ->
+        if pid = 0 then begin
+          let last = ref 0 in
+          for _ = 1 to per_domain do
+            let v = reg.read_max () in
+            if v < !last then reads_monotone := false;
+            last := v
+          done
+        end
+        else
+          for v = 1 to per_domain do
+            reg.write_max ~pid ((v * domains) + pid)
+          done)
+  in
+  if not !reads_monotone then fail "max-register reads went backwards";
+  let expect = (per_domain * domains) + (domains - 1) in
+  if reg.read_max () <> expect then
+    fail "final maximum %d, expected %d" (reg.read_max ()) expect;
+  let sn =
+    Harness.Chaos.snapshot c ~n:domains Harness.Instances.Farray_snapshot
+  in
+  let scans_monotone = ref true in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains (fun pid ->
+        if pid = 0 then begin
+          (* single-writer segments written in increasing order: every
+             component must be non-decreasing across successive scans *)
+          let last = Array.make domains 0 in
+          for _ = 1 to per_domain do
+            let v = sn.scan () in
+            Array.iteri
+              (fun i x ->
+                if x < last.(i) then scans_monotone := false;
+                last.(i) <- x)
+              v
+          done
+        end
+        else
+          for v = 1 to per_domain do
+            sn.update ~pid v
+          done)
+  in
+  if not !scans_monotone then fail "snapshot scans went backwards";
+  let t = Obs.Metrics.totals metrics in
+  Printf.printf
+    "chaos seed %d: %d bursts checked, %d ops/structure over %d domains\n\
+     injected: %d yield storms, %d gc pressure events, %d stalls\n"
+    seed
+    (3 * List.length burst_seeds)
+    (domains * per_domain) domains t.Obs.Metrics.fault_yields
+    t.Obs.Metrics.fault_gcs t.Obs.Metrics.fault_stalls;
+  match List.rev !failures with
+  | [] ->
+    print_endline "no violations";
+    `Ok ()
+  | fs ->
+    List.iter (fun f -> Printf.printf "VIOLATION: %s\n" f) fs;
+    `Error (false, "chaos run found violations")
+
+let main kind impl_name procs readers seeds value_range trace_file faults_str
+    sweep chaos_seed chaos_ops =
+  match chaos_seed with
+  | Some seed -> chaos ~seed ~ops:chaos_ops
+  | None ->
+    if sweep then
+      match lookup_impl kind impl_name with
+      | `Error _ as e -> e
+      | (`Maxreg _ | `Counter _ | `Snapshot _) as target ->
+        fault_sweep target kind impl_name procs readers value_range
+    else
+      stress kind impl_name procs readers seeds value_range trace_file
+        faults_str
 
 open Cmdliner
 
@@ -220,13 +467,54 @@ let trace_file =
               violating execution if any seed fails, else the last seed's \
               execution.  Open in chrome://tracing or ui.perfetto.dev.")
 
+let faults_str =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Fault plan applied to every seed: comma-separated \
+           crash:PID@AFTER, casfail:PID#NTH, stall:PID@AT+POINTS, \
+           haltbut:PID@AT ('none' for no faults).  On violation the plan \
+           is minimized alongside the schedule.")
+
+let sweep =
+  Arg.(
+    value & flag
+    & info [ "fault-sweep" ]
+        ~doc:
+          "Exhaustively verify every single-crash plan (under DPOR) and \
+           every single-stall plan (under the gated explorer) for the \
+           chosen object: all surviving histories must linearize.  \
+           Exhaustive — keep --procs at 3, and prefer a single writer \
+           (the stall sweep enumerates plain interleavings).")
+
+let chaos_seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos" ] ~docv:"SEED"
+        ~doc:
+          "Native-backend chaos run: multi-domain linearizability bursts \
+           and large invariant runs under deterministic preemption/GC \
+           injection derived from $(docv).  Ignores the simulator options.")
+
+let chaos_ops =
+  Arg.(
+    value
+    & opt int 1_000_000
+    & info [ "chaos-ops" ] ~docv:"N"
+        ~doc:"Operations per structure for the --chaos invariant runs.")
+
 let cmd =
   Cmd.v
     (Cmd.info "stress" ~version:"1.0"
        ~doc:
          "Randomized linearizability stress tests for the PODC'14 \
-          restricted-use objects.")
-    Term.(ret (const stress $ kind $ impl_name $ procs $ readers $ seeds
-               $ value_range $ trace_file))
+          restricted-use objects, with fault injection (--faults, \
+          --fault-sweep) and native-backend chaos runs (--chaos).")
+    Term.(ret (const main $ kind $ impl_name $ procs $ readers $ seeds
+               $ value_range $ trace_file $ faults_str $ sweep $ chaos_seed
+               $ chaos_ops))
 
 let () = exit (Cmd.eval cmd)

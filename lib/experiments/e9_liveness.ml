@@ -110,6 +110,100 @@ let sweep () =
         Harness.Instances.Afek;
         Harness.Instances.Double_collect ]
 
+(* {1 Fault matrix}
+
+   The audits above schedule processes adversarially but faultlessly.
+   The fault matrix re-runs completion under every single-fault plan —
+   each process crashed after each possible number of its own events, and
+   each process stalled for 5 points at each scheduling point — and
+   audits the SURVIVORS: whoever the plan neither crashes nor freezes
+   must still finish within a bounded number of its own steps.
+   Linearizability of the surviving histories is checked exhaustively in
+   test/test_faults.ml and by bin/stress.exe --fault-sweep; this table
+   reports the liveness half at a glance. *)
+
+type fault_row = {
+  f_structure : string;
+  f_impl : string;
+  f_plans : int;
+  f_survivors_completed : bool;
+  f_worst_steps : int;
+}
+
+let fault_row f_structure f_impl session ~n make_body =
+  let counts = Explore.solo_counts session ~n ~make_body in
+  let plans =
+    Faults.single_crash_plans ~counts
+    @ Faults.single_stall_plans ~n
+        ~max_point:(Array.fold_left ( + ) 0 counts)
+        ~points:5
+  in
+  let all = ref true in
+  let worst = ref 0 in
+  List.iter
+    (fun plan ->
+      let r =
+        Harness.Liveness.completion_under_plan session ~n ~make_body ~plan ()
+      in
+      if not r.Harness.Liveness.survivors_completed then all := false;
+      worst := max !worst r.Harness.Liveness.max_survivor_steps)
+    plans;
+  { f_structure;
+    f_impl;
+    f_plans = List.length plans;
+    f_survivors_completed = !all;
+    f_worst_steps = !worst }
+
+let fault_sweep () =
+  let n = 3 in
+  let maxreg impl =
+    let session = Session.create () in
+    let reg = Harness.Instances.maxreg_sim session ~n ~bound:4096 impl in
+    fault_row "max-register" (Harness.Instances.maxreg_name impl) session ~n
+      (fun pid () ->
+        if pid = 0 then reg.write_max ~pid 16 else ignore (reg.read_max ()))
+  in
+  let counter impl =
+    let session = Session.create () in
+    let c = Harness.Instances.counter_sim session ~n ~bound:4096 impl in
+    fault_row "counter" (Harness.Instances.counter_name impl) session ~n
+      (fun pid () -> if pid = 0 then c.increment ~pid else ignore (c.read ()))
+  in
+  let snapshot impl =
+    let session = Session.create () in
+    let s = Harness.Instances.snapshot_sim session ~n impl in
+    fault_row "snapshot" (Harness.Instances.snapshot_name impl) session ~n
+      (fun pid () -> if pid = 0 then s.update ~pid 7 else ignore (s.scan ()))
+  in
+  List.map maxreg
+    [ Harness.Instances.Algorithm_a;
+      Harness.Instances.Aac_maxreg;
+      Harness.Instances.B1_maxreg;
+      Harness.Instances.Cas_maxreg ]
+  @ List.map counter
+      [ Harness.Instances.Farray_counter;
+        Harness.Instances.Aac_counter;
+        Harness.Instances.Naive_counter ]
+  @ List.map snapshot
+      [ Harness.Instances.Farray_snapshot;
+        Harness.Instances.Afek;
+        Harness.Instances.Double_collect ]
+
+let fault_table rows =
+  Harness.Tables.render
+    ~title:
+      "E9b: fault matrix — survivor completion under every single-crash and \
+       single-stall plan (1 writer + 2 readers; crashed/frozen processes \
+       excluded, everyone else must finish)"
+    ~header:
+      [ "structure"; "impl"; "plans"; "survivors complete"; "worst steps" ]
+    (List.map
+       (fun r ->
+         [ r.f_structure; r.f_impl; string_of_int r.f_plans;
+           string_of_bool r.f_survivors_completed;
+           string_of_int r.f_worst_steps ])
+       rows)
+
 let table rows =
   Harness.Tables.render
     ~title:
@@ -127,4 +221,4 @@ let table rows =
            string_of_int r.interfered_steps ])
        rows)
 
-let run () = table (sweep ())
+let run () = table (sweep ()) ^ "\n" ^ fault_table (fault_sweep ())

@@ -90,3 +90,48 @@ let interference_bound ?(per_round = 8) ?(victim_budget = 10_000) session
   { victim_completed = completed;
     victim_steps;
     interference_steps = !interference }
+
+type plan_report = {
+  survivors : int;
+  survivors_completed : bool;
+  max_survivor_steps : int;
+}
+
+(* Run the group under a fault plan (crashes/CAS-failures instrument the
+   bodies, stalls/halts gate the scheduler) and audit the SURVIVORS: every
+   process the plan neither crashes nor freezes forever must still finish,
+   in a bounded number of its own steps.  This is the liveness half of the
+   fault sweep; linearizability of the surviving history is checked by the
+   test suites and bin/stress.exe. *)
+let completion_under_plan ?(max_events = 100_000) session ~n ~make_body ~plan
+    () =
+  Store.reset (Session.store session);
+  let sched = Scheduler.create session in
+  let body = Faults.instrument plan make_body in
+  for pid = 0 to n - 1 do
+    ignore (Scheduler.spawn sched (body pid))
+  done;
+  let g = Faults.gate plan in
+  Faults.run_round_robin ~max_events sched g;
+  let crashed pid =
+    List.exists
+      (function Faults.Crash { pid = p; _ } -> p = pid | _ -> false)
+      plan
+  in
+  let survivors =
+    List.filter
+      (fun pid -> (not (crashed pid)) && not (Faults.halted_forever g pid))
+      (List.init n Fun.id)
+  in
+  let completed =
+    List.for_all (fun pid -> Scheduler.is_finished sched pid) survivors
+  in
+  let worst =
+    List.fold_left
+      (fun acc pid -> max acc (Scheduler.steps_of sched pid))
+      0 survivors
+  in
+  ignore (Scheduler.finish sched);
+  { survivors = List.length survivors;
+    survivors_completed = completed;
+    max_survivor_steps = worst }

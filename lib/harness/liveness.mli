@@ -40,3 +40,24 @@ val interference_bound :
     retrying interferer.  A wait-free victim completes within its solo
     bound; a merely lock-free one burns steps proportional to the
     interference. *)
+
+type plan_report = {
+  survivors : int;          (** processes the plan neither crashes nor
+                                freezes forever *)
+  survivors_completed : bool;
+  max_survivor_steps : int;
+}
+
+val completion_under_plan :
+  ?max_events:int ->
+  Memsim.Session.t ->
+  n:int ->
+  make_body:(int -> unit -> unit) ->
+  plan:Memsim.Faults.plan ->
+  unit ->
+  plan_report
+(** Run the group under a {!Memsim.Faults.plan} (gated round-robin over
+    instrumented bodies) and audit the survivors: every process the plan
+    neither crashes nor freezes forever must finish, in a bounded number
+    of its own steps.  Used by E9's fault-matrix table and by the
+    single-fault sweeps in test/test_faults.ml. *)

@@ -125,23 +125,24 @@ let recommended_domains ?(floor = 1) ?(cap = max_int) () =
 
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
-let run_batched_latency ~domains ~seconds ~batch ~(hist : Obs.Histogram.t array)
+let run_batched_latency ?(now = Unix.gettimeofday) ?(sleep = Unix.sleepf)
+    ~domains ~seconds ~batch ~(hist : Obs.Histogram.t array)
     ~(op : int -> int -> unit) () =
   if Array.length hist < domains then
     invalid_arg "Throughput.run_batched_latency: need one histogram per domain";
   if domains = 1 then begin
     let h = hist.(0) in
-    let deadline = Unix.gettimeofday () +. seconds in
+    let deadline = now () +. seconds in
     let done_ops = ref 0 in
-    let t0 = Unix.gettimeofday () in
-    while Unix.gettimeofday () < deadline do
+    let t0 = now () in
+    while now () < deadline do
       let c0 = now_ns () in
       op 0 !done_ops;
       let c1 = now_ns () in
       Obs.Histogram.record h ((c1 - c0) / batch);
       done_ops := !done_ops + batch
     done;
-    let t1 = Unix.gettimeofday () in
+    let t1 = now () in
     float_of_int !done_ops /. (t1 -. t0)
   end
   else begin
@@ -175,14 +176,14 @@ let run_batched_latency ~domains ~seconds ~batch ~(hist : Obs.Histogram.t array)
     while Atomic.get ready < domains do
       Domain.cpu_relax ()
     done;
-    let t0 = Unix.gettimeofday () in
+    let t0 = now () in
     Atomic.set go true;
-    Unix.sleepf seconds;
+    sleep seconds;
     Atomic.set stop true;
     while Atomic.get acked < domains do
       Domain.cpu_relax ()
     done;
-    let t1 = Unix.gettimeofday () in
+    let t1 = now () in
     List.iter Domain.join workers;
     let total =
       Array.fold_left

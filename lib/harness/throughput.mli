@@ -59,6 +59,8 @@ val run_alone :
 (** The [domains = 1] path of {!run_batched}, callable directly. *)
 
 val run_batched_latency :
+  ?now:(unit -> float) ->
+  ?sleep:(float -> unit) ->
   domains:int ->
   seconds:float ->
   batch:int ->
@@ -71,4 +73,6 @@ val run_batched_latency :
     [duration / batch] nanoseconds into [hist.(d)] (single-writer; merge
     after return).  The clock pair adds ~40ns per batched call, so use
     this as a separate metered pass and take throughput rows from
-    {!run_batched}. *)
+    {!run_batched}.  [now]/[sleep] script the *window* clock only (the
+    throughput denominator); per-op latencies always come from the
+    monotonic clock. *)

@@ -54,7 +54,12 @@ let default =
         Module_path [ "Farray"; "Unboxed" ];
         Module_path [ "Naive_counter"; "Unboxed" ];
         Module_path [ "Farray_counter"; "Unboxed" ];
-        Module_path [ "Propagate"; "Unboxed" ] ];
+        Module_path [ "Propagate"; "Unboxed" ];
+        (* chaos injection primitives: cpu_relax storms, DLS-keyed
+           deterministic dice, domain spawning and the shared stamp
+           clock — submodule-granular so raw atomics anywhere else in
+           chaos.ml still get flagged *)
+        Module_path [ "Chaos"; "Inject" ] ];
     (* R2: the libraries holding the paper's algorithms.  An unbounded
        loop there that never re-reads shared memory can spin forever on
        stale state — the syntactic complement of E9's liveness audit. *)

@@ -25,8 +25,11 @@ type counter =
   | Help
   | Op_read
   | Op_update
+  | Fault_yield
+  | Fault_gc
+  | Fault_stall
 
-let n_counters = 6
+let n_counters = 9
 
 let counter_index = function
   | Cas_attempt -> 0
@@ -35,6 +38,9 @@ let counter_index = function
   | Help -> 3
   | Op_read -> 4
   | Op_update -> 5
+  | Fault_yield -> 6
+  | Fault_gc -> 7
+  | Fault_stall -> 8
 
 let counter_name = function
   | Cas_attempt -> "cas_attempts"
@@ -43,9 +49,13 @@ let counter_name = function
   | Help -> "helps"
   | Op_read -> "op_reads"
   | Op_update -> "op_updates"
+  | Fault_yield -> "fault_yields"
+  | Fault_gc -> "fault_gcs"
+  | Fault_stall -> "fault_stalls"
 
 let all_counters =
-  [ Cas_attempt; Cas_failure; Refresh_round; Help; Op_read; Op_update ]
+  [ Cas_attempt; Cas_failure; Refresh_round; Help; Op_read; Op_update;
+    Fault_yield; Fault_gc; Fault_stall ]
 
 type t = {
   enabled : bool;
@@ -89,11 +99,15 @@ type totals = {
   helps : int;
   op_reads : int;
   op_updates : int;
+  fault_yields : int;
+  fault_gcs : int;
+  fault_stalls : int;
 }
 
 let zero_totals =
   { cas_attempts = 0; cas_failures = 0; refresh_rounds = 0; helps = 0;
-    op_reads = 0; op_updates = 0 }
+    op_reads = 0; op_updates = 0; fault_yields = 0; fault_gcs = 0;
+    fault_stalls = 0 }
 
 let sum t c =
   let i = counter_index c in
@@ -107,7 +121,10 @@ let totals t =
       refresh_rounds = sum t Refresh_round;
       helps = sum t Help;
       op_reads = sum t Op_read;
-      op_updates = sum t Op_update }
+      op_updates = sum t Op_update;
+      fault_yields = sum t Fault_yield;
+      fault_gcs = sum t Fault_gc;
+      fault_stalls = sum t Fault_stall }
 
 let total_of totals = function
   | Cas_attempt -> totals.cas_attempts
@@ -116,6 +133,9 @@ let total_of totals = function
   | Help -> totals.helps
   | Op_read -> totals.op_reads
   | Op_update -> totals.op_updates
+  | Fault_yield -> totals.fault_yields
+  | Fault_gc -> totals.fault_gcs
+  | Fault_stall -> totals.fault_stalls
 
 let reset t =
   Array.iter (fun row -> Array.iter (fun c -> Atomic.set c 0) row) t.shards
@@ -128,4 +148,6 @@ let pp_totals ppf t =
   Fmt.pf ppf "cas=%d/%d (%.1f%% failed) refreshes=%d helps=%d ops=%dr/%du"
     t.cas_failures t.cas_attempts
     (100. *. cas_failure_rate t)
-    t.refresh_rounds t.helps t.op_reads t.op_updates
+    t.refresh_rounds t.helps t.op_reads t.op_updates;
+  if t.fault_yields + t.fault_gcs + t.fault_stalls > 0 then
+    Fmt.pf ppf " faults=%dy/%dg/%ds" t.fault_yields t.fault_gcs t.fault_stalls

@@ -15,6 +15,9 @@ type counter =
   | Help            (** operation completed by helping another's write *)
   | Op_read         (** high-level read operation *)
   | Op_update       (** high-level update operation *)
+  | Fault_yield     (** injected preemption (yield/cpu_relax storm) *)
+  | Fault_gc        (** injected GC pressure event *)
+  | Fault_stall     (** injected domain stall *)
 
 val all_counters : counter list
 val counter_name : counter -> string
@@ -55,6 +58,9 @@ type totals = {
   helps : int;
   op_reads : int;
   op_updates : int;
+  fault_yields : int;
+  fault_gcs : int;
+  fault_stalls : int;
 }
 
 val zero_totals : totals

@@ -172,6 +172,53 @@ let test_run_batched_measured_window () =
   (* rate * elapsed recovers exactly the operations the workers counted *)
   Alcotest.(check (float 1e-6)) "ops / measured elapsed" counted (rate *. 2.5)
 
+let test_run_batched_latency_alone_window () =
+  (* domains = 1 latency path: same call sites as run_alone but one op
+     per loop iteration.  deadline base 0.0 (-> 1.0), t0 = 0.0, one
+     check at 0.5 (runs the op), exit check at 2.0, t1 = 2.0: exactly
+     one batched call, denominator 2.0 measured seconds. *)
+  let now = scripted_clock [| 0.0; 0.0; 0.5; 2.0; 2.0 |] in
+  let hist = [| Obs.Histogram.create () |] in
+  let calls = ref 0 in
+  let rate =
+    Harness.Throughput.run_batched_latency ~now ~domains:1 ~seconds:1.0
+      ~batch:4 ~hist
+      ~op:(fun _ _ -> incr calls)
+      ()
+  in
+  Alcotest.(check int) "one batched call" 1 !calls;
+  Alcotest.(check int) "one latency sample" 1 (Obs.Histogram.count hist.(0));
+  Alcotest.(check (float 1e-9)) "ops / measured elapsed" 2.0 rate
+
+let test_run_batched_latency_measured_window () =
+  (* multi-domain latency path: the window clock is scripted (t0, t1 are
+     the only now() calls), the per-op latencies still come from the
+     monotonic clock.  The rate times the scripted elapsed must recover
+     exactly the published operation count, and every batched call must
+     have recorded one histogram sample. *)
+  let now = scripted_clock [| 10.0; 12.5 |] in
+  let batch = 4 in
+  let calls = Atomic.make 0 in
+  let sleep _ =
+    while Atomic.get calls < 8 do
+      Domain.cpu_relax ()
+    done
+  in
+  let hist = Array.init 2 (fun _ -> Obs.Histogram.create ()) in
+  let rate =
+    Harness.Throughput.run_batched_latency ~now ~sleep ~domains:2
+      ~seconds:99.0 ~batch ~hist
+      ~op:(fun _ _ -> Atomic.incr calls)
+      ()
+  in
+  let calls = Atomic.get calls in
+  Alcotest.(check bool) "workers made progress" true (calls > 0);
+  Alcotest.(check (float 1e-6)) "ops / measured elapsed"
+    (float_of_int (batch * calls))
+    (rate *. 2.5);
+  Alcotest.(check int) "one latency sample per batched call" calls
+    (Obs.Histogram.count hist.(0) + Obs.Histogram.count hist.(1))
+
 (* {1 Tables} *)
 
 let test_table_render () =
@@ -220,7 +267,11 @@ let () =
         [ Alcotest.test_case "run_alone measured elapsed" `Quick
             test_run_alone_measured_window;
           Alcotest.test_case "run_batched measured elapsed" `Quick
-            test_run_batched_measured_window ] );
+            test_run_batched_measured_window;
+          Alcotest.test_case "latency runner (1 domain) measured elapsed"
+            `Quick test_run_batched_latency_alone_window;
+          Alcotest.test_case "latency runner measured elapsed" `Quick
+            test_run_batched_latency_measured_window ] );
       ( "tables",
         [ Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows ] ) ]

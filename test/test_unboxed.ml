@@ -117,6 +117,62 @@ let differential_snapshot =
           end)
         ops)
 
+(* {1 Cross-implementation differential}
+
+   Different algorithms for the same abstract object must agree
+   observationally on every sequential operation sequence: the hybrid
+   f-array snapshot against the double-collect baseline, and the AAC
+   counter against the naive one.  This is independent of the
+   boxed-vs-unboxed pairs above — here the *algorithms* differ and the
+   shared sequential semantics is what's under test. *)
+
+let differential_snapshot_impls =
+  QCheck.Test.make ~count:200 ~name:"hybrid farray snapshot = double-collect"
+    (ops_gen ~n:3)
+    (fun ops ->
+      let hybrid =
+        Option.get
+          (Harness.Instances.snapshot_native_fast ~n:3
+             Harness.Instances.Farray_snapshot)
+      in
+      let baseline =
+        Harness.Instances.snapshot_native ~n:3 Harness.Instances.Double_collect
+      in
+      List.for_all
+        (fun (pid, v) ->
+          if v < 0 then hybrid.scan () = baseline.scan ()
+          else begin
+            hybrid.update ~pid v;
+            baseline.update ~pid v;
+            hybrid.scan () = baseline.scan ()
+          end)
+        ops)
+
+let differential_counter_impls =
+  (* counts stay under 120 (the ops_gen list cap), so a small bound keeps
+     the AAC register tree cheap to build per QCheck case *)
+  let small_bound = 256 in
+  QCheck.Test.make ~count:200 ~name:"aac counter = naive counter"
+    (ops_gen ~n:3)
+    (fun ops ->
+      let aac =
+        Harness.Instances.counter_native ~n:3 ~bound:small_bound
+          Harness.Instances.Aac_counter
+      in
+      let naive =
+        Harness.Instances.counter_native ~n:3 ~bound:small_bound
+          Harness.Instances.Naive_counter
+      in
+      List.for_all
+        (fun (pid, v) ->
+          if v < 0 then aac.read () = naive.read ()
+          else begin
+            aac.increment ~pid;
+            naive.increment ~pid;
+            aac.read () = naive.read ()
+          end)
+        ops)
+
 (* {1 Zero allocation}
 
    [Gc.minor_words] deltas over many operations: the unboxed hot paths
@@ -275,6 +331,8 @@ let () =
               (Harness.Instances.Snapshot_counter
                  Harness.Instances.Farray_snapshot);
             differential_snapshot ] );
+      ( "cross-implementation",
+        qsuite [ differential_snapshot_impls; differential_counter_impls ] );
       ( "allocation",
         [ Alcotest.test_case "max registers allocate nothing" `Quick
             test_alloc_free_maxregs;
