@@ -32,6 +32,7 @@ tsan:
 	dune exec test/test_unboxed.exe
 	dune exec test/test_obs.exe
 	dune exec test/test_native.exe
+	dune exec test/test_combining.exe
 	dune exec bin/bench.exe -- --quick --max-domains 2 -o /tmp/tsan-bench.json
 
 # fault sweeps (exhaustive, simulator) + native chaos soak (~1 min)
@@ -43,6 +44,7 @@ chaos:
 bench:
 	dune exec bench/main.exe
 
+# add `-- --baseline OLD.json` to diff against a previous run (warn-only)
 bench-native:
 	dune exec bin/bench.exe -- -o BENCH_NATIVE.json
 

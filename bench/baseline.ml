@@ -1,0 +1,105 @@
+(* Baseline diffing for bench trajectories: match the rows of a fresh
+   sweep against a committed BENCH_NATIVE.json by
+   (structure, impl, backend, domains, read_pct) and report throughput
+   ratios.  Deliberately warn-only — bench numbers from shared CI
+   runners are too noisy to gate on (the per-row [rsd] field quantifies
+   exactly how noisy), so the report flags suspects for a human.
+
+   Works on parsed {!Json_out.t} documents rather than [Bench_native.row]
+   so both sides go through the same schema accessors; v2 baselines
+   (no combining rows, no [rsd]) still diff fine — unmatched rows are
+   counted, not errors. *)
+
+type entry = {
+  structure : string;
+  impl : string;
+  backend : string;
+  domains : int;
+  read_pct : int;
+  mops : float;
+}
+
+let entry_of_row j =
+  let str k = Option.bind (Json_out.member k j) Json_out.as_string in
+  let int k = Option.bind (Json_out.member k j) Json_out.as_int in
+  let flt k = Option.bind (Json_out.member k j) Json_out.as_float in
+  match
+    (str "structure", str "impl", str "backend", int "domains",
+     int "read_pct", flt "mops")
+  with
+  | Some structure, Some impl, Some backend, Some domains, Some read_pct,
+    Some mops ->
+    Some { structure; impl; backend; domains; read_pct; mops }
+  | _ -> None
+
+let entries_of_doc doc =
+  match Option.bind (Json_out.member "rows" doc) Json_out.as_list with
+  | None -> []
+  | Some rows -> List.filter_map entry_of_row rows
+
+let schema_of_doc doc =
+  Option.bind (Json_out.member "schema" doc) Json_out.as_string
+
+let key e = (e.structure, e.impl, e.backend, e.domains, e.read_pct)
+
+type delta = {
+  cur : entry;
+  base_mops : float;
+  ratio : float;  (* current / baseline *)
+}
+
+let diff ~baseline ~current =
+  List.filter_map
+    (fun c ->
+      match List.find_opt (fun b -> key b = key c) baseline with
+      | Some b when Float.is_finite b.mops && b.mops > 0. ->
+        Some { cur = c; base_mops = b.mops; ratio = c.mops /. b.mops }
+      | _ -> None)
+    current
+
+(* Flag threshold: a quarter off the baseline.  Of the same order as the
+   rsd flag in {!Bench_native} — tighter than the noise floor would just
+   cry wolf. *)
+let default_threshold = 0.25
+
+let report ?(threshold = default_threshold) ~baseline ~current () =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match schema_of_doc baseline with
+   | Some ("bench-native/v2" | "bench-native/v3") -> ()
+   | Some s -> pf "baseline: unrecognized schema %S; matching rows anyway\n" s
+   | None -> pf "baseline: no schema field; matching rows anyway\n");
+  let base = entries_of_doc baseline in
+  let cur = entries_of_doc current in
+  let deltas = diff ~baseline:base ~current:cur in
+  let regressions =
+    List.filter (fun d -> d.ratio < 1. -. threshold) deltas
+  in
+  let improvements =
+    List.filter (fun d -> d.ratio > 1. +. threshold) deltas
+  in
+  pf "baseline: %d/%d rows matched against %d baseline rows\n"
+    (List.length deltas) (List.length cur) (List.length base);
+  let line tag d =
+    pf "  %s %s/%s %s d=%d r=%d%%: %.2f -> %.2f Mops/s (%+.1f%%)\n" tag
+      d.cur.structure d.cur.impl d.cur.backend d.cur.domains d.cur.read_pct
+      d.base_mops d.cur.mops
+      (100. *. (d.ratio -. 1.))
+  in
+  List.iter (line "REGRESSION") regressions;
+  List.iter (line "improved  ") improvements;
+  if regressions = [] then
+    pf "baseline: no regressions beyond %.0f%% (warn-only check)\n"
+      (100. *. threshold)
+  else
+    pf
+      "baseline: %d row(s) regressed beyond %.0f%% — check rsd before \
+       believing them (warn-only check)\n"
+      (List.length regressions) (100. *. threshold);
+  Buffer.contents buf
+
+let regression_count ?(threshold = default_threshold) ~baseline ~current () =
+  let deltas =
+    diff ~baseline:(entries_of_doc baseline) ~current:(entries_of_doc current)
+  in
+  List.length (List.filter (fun d -> d.ratio < 1. -. threshold) deltas)

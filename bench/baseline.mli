@@ -1,0 +1,43 @@
+(** Warn-only baseline diffing for bench-native trajectories: match a
+    fresh sweep's JSON against a committed BENCH_NATIVE.json row-by-row
+    on (structure, impl, backend, domains, read_pct) and report
+    throughput ratios.  Accepts schema v2 or v3 baselines; unmatched
+    rows (e.g. combining rows absent from a v2 baseline) are counted,
+    never errors. *)
+
+type entry = {
+  structure : string;
+  impl : string;
+  backend : string;
+  domains : int;
+  read_pct : int;
+  mops : float;
+}
+
+type delta = {
+  cur : entry;
+  base_mops : float;
+  ratio : float;  (** current / baseline *)
+}
+
+val entries_of_doc : Json_out.t -> entry list
+(** The well-formed members of a trajectory's ["rows"]; rows missing a
+    key field are skipped. *)
+
+val diff : baseline:entry list -> current:entry list -> delta list
+(** Current entries that match a baseline entry with finite positive
+    [mops]. *)
+
+val default_threshold : float
+(** 0.25 — the same order as the rsd flag; tighter would cry wolf. *)
+
+val report :
+  ?threshold:float -> baseline:Json_out.t -> current:Json_out.t -> unit ->
+  string
+(** Human-readable diff: matched-row count, per-row REGRESSION /
+    improved lines beyond [threshold], and a warn-only summary line. *)
+
+val regression_count :
+  ?threshold:float -> baseline:Json_out.t -> current:Json_out.t -> unit -> int
+(** Number of matched rows below [1 - threshold] of their baseline, for
+    callers that want to branch (the CLI and CI never fail on it). *)

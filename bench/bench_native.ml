@@ -1,28 +1,35 @@
 (* The domain-scaling benchmark behind bin/bench.exe: every int-specialized
-   implementation, boxed (Simval Atomic) vs unboxed (padded int Atomic)
-   backend, swept over domain counts and read shares, with warmup and
-   repeated trials.  This is where the constant-factor story of the paper's
-   O(1)-read structures is measured honestly: same algorithms, same step
-   counts, only the base-object representation changes.
+   implementation, boxed (Simval Atomic) vs unboxed (padded int Atomic) vs
+   flat-combining backend, swept over domain counts and read shares, with
+   shared warmup and interleaved trials.  This is where the constant-factor
+   story of the paper's O(1)-read structures is measured honestly: same
+   algorithms, same step counts, only the base-object representation (and,
+   for the combining backend, the update submission protocol) changes.
 
-   Each cell runs two kinds of pass:
+   Each cell runs three kinds of pass:
 
    - throughput trials over the plain fused closures (no clocks, no
      metrics in the loop — the numbers of record), timed by
      {!Harness.Throughput.run_batched}'s measured barrier->stop-ack
-     window;
+     window.  All cells are constructed up front and their trials run in
+     interleaved rounds (round-major, not cell-major), so slow drift of
+     the host — thermal state, background load — lands evenly across
+     cells instead of correlating with sweep order, and every trial after
+     the first inherits the previous rounds as extra warmup of the same
+     closure and structure;
    - a latency pass clocking the same fused closures per batched call
-     into per-domain log-bucketed histograms (both backends, so the
+     into per-domain log-bucketed histograms (all backends, so the
      percentiles compare like the throughput medians do);
-   - on the unboxed backend, a metrics pass running the workload through
-     the instrumented instances of {!Harness.Instances} to collect
-     contention counts (CAS attempts/failures, refresh rounds, helps).
-     All passes are separate so the observability layer can never bias
-     the throughput rows.
+   - on the unboxed and combining backends, a metrics pass running the
+     workload through the instrumented instances of {!Harness.Instances}
+     to collect contention counts (CAS attempts/failures, refresh rounds,
+     helps, and for combining: batches, combined ops, eliminations,
+     combiner-lock acquisitions).  All passes are separate so the
+     observability layer can never bias the throughput rows.
 
    Results are emitted both as a table (stdout) and as machine-readable
-   JSON (BENCH_NATIVE.json, schema "bench-native/v2") so future changes
-   have a perf trajectory to regress against. *)
+   JSON (BENCH_NATIVE.json, schema "bench-native/v3") so future changes
+   have a perf trajectory to regress against (see {!Baseline}). *)
 
 type config = {
   domain_counts : int list;
@@ -40,18 +47,20 @@ let config ?(quick = false) ?(max_domains = 4) ?seconds ?trials
   { domain_counts;
     read_shares;
     seconds = (match seconds with Some s -> s | None -> if quick then 0.05 else 0.3);
-    warmup_seconds = (if quick then 0.02 else 0.1);
+    warmup_seconds = (if quick then 0.02 else 0.15);
     trials = (match trials with Some t -> t | None -> if quick then 1 else 3);
     quick }
 
 type row = {
   structure : string;
   impl : string;
-  backend : string;  (* "boxed" | "unboxed" *)
+  backend : string;  (* "boxed" | "unboxed" | "combining" *)
   domains : int;
   read_pct : int;
   mops : float;        (* median over trials *)
   trial_mops : float list;
+  rsd : float;         (* relative stddev of the trials: stddev/mean *)
+  oversubscribed : bool;  (* domains > recommended_domains of this host *)
   (* metered pass *)
   lat_p50 : float;     (* ns per op *)
   lat_p95 : float;
@@ -70,21 +79,23 @@ type row = {
    - the read/write mix is a precomputed 128-slot Bresenham pattern,
      decided per op by one array load and a mask (an integer division
      would cost as much as the unboxed operation being measured);
-   - the implementation is called *directly* — the unboxed modules are
-     concrete, so those compile to static calls, while the boxed side's
-     indirect functor call is part of the representation cost being
-     measured.  Any generic wrapper (instance record, first-class module)
-     would add an indirect call to both sides and dilute the ratio;
+   - the implementation is called *directly* — the unboxed and combining
+     modules are concrete, so those compile to static calls, while the
+     boxed side's indirect functor call is part of the representation
+     cost being measured.  Any generic wrapper (instance record,
+     first-class module) would add an indirect call to both sides and
+     dilute the ratio;
    - each closure performs [batch] operations per invocation, so the
      harness's stop-flag read and bookkeeping amortize to noise
      ({!Harness.Throughput.run_batched}).
 
    The modules measured are exactly the ones the registry
-   ({!Harness.Instances.maxreg_native} / [_native_fast]) hands out; only
-   the call path is flattened here.  The metered pass, by contrast, goes
-   through the registry's [_native_metered] instances — indirect calls,
-   which is fine: its numbers are distributions and counts, not the
-   throughput of record. *)
+   ({!Harness.Instances.maxreg_native} / [_native_fast] /
+   [_native_combining]) hands out; only the call path is flattened here.
+   The metered pass, by contrast, goes through the registry's
+   [_native_metered] / [_native_combining_metered] instances — indirect
+   calls, which is fine: its numbers are distributions and counts, not
+   the throughput of record. *)
 
 let pattern_slots = 128
 let mask = pattern_slots - 1
@@ -103,12 +114,15 @@ type kind =
   | Maxreg of Harness.Instances.maxreg_impl
   | Counter of Harness.Instances.counter_impl
 
+type backend = [ `Boxed | `Unboxed | `Combining ]
+
 type target = {
   structure : string;
   impl_name : string;
   kind : kind;
+  has_combining : bool;
   mk :
-    backend:[ `Boxed | `Unboxed ] ->
+    backend:backend ->
     n:int ->
     domains:int ->
     pattern:bool array ->
@@ -125,15 +139,22 @@ module BU = Maxreg.B1_maxreg.Unboxed
 module CU = Maxreg.Cas_maxreg.Unboxed
 module FU = Counters.Farray_counter.Unboxed
 module NU = Counters.Naive_counter.Unboxed
+module AC = Harness.Combining.Alg_a
+module CC = Harness.Combining.Cas
+module FC = Harness.Combining.Farray_c
+module NC = Harness.Combining.Naive_c
 
 (* Max registers write strictly increasing, domain-disjoint values
    [i * domains + d]: every write really updates (monotone streams), and
-   the CAS-based propagation paths stay ABA-free. *)
+   the CAS-based propagation paths stay ABA-free.  Note the combining
+   backend sees the same stream, so its eliminations count races lost to
+   other domains, not stale replays. *)
 
 let alg_a_target =
   { structure = "max-register";
     impl_name = Harness.Instances.maxreg_name Harness.Instances.Algorithm_a;
     kind = Maxreg Harness.Instances.Algorithm_a;
+    has_combining = true;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
         match backend with
@@ -154,12 +175,38 @@ let alg_a_target =
               if Array.unsafe_get pattern (i land mask) then
                 ignore (AU.read_max reg : int)
               else AU.write_max reg ~pid:d ((i * domains) + d)
+            done
+        | `Combining when domains = 1 ->
+          (* create-time solo dispatch (see Harness.Combining): one
+             participating domain can never contend, so the combining
+             backend at domains = 1 *is* the plain unboxed structure,
+             resolved once here rather than branched per op — the
+             per-op wrapper alone costs a call frame, visible at these
+             per-op costs.  The d=1 combining rows therefore measure
+             what a combining deployment actually runs solo. *)
+          let reg = AU.create ~n () in
+          fun d i0 ->
+            for k = 0 to batch - 1 do
+              let i = i0 + k in
+              if Array.unsafe_get pattern (i land mask) then
+                ignore (AU.read_max reg : int)
+              else AU.write_max reg ~pid:d ((i * domains) + d)
+            done
+        | `Combining ->
+          let reg = AC.create ~n ~domains () in
+          fun d i0 ->
+            for k = 0 to batch - 1 do
+              let i = i0 + k in
+              if Array.unsafe_get pattern (i land mask) then
+                ignore (AC.read_max reg : int)
+              else AC.write_max reg ~pid:d ((i * domains) + d)
             done) }
 
 let b1_target =
   { structure = "max-register";
     impl_name = Harness.Instances.maxreg_name Harness.Instances.B1_maxreg;
     kind = Maxreg Harness.Instances.B1_maxreg;
+    has_combining = false;  (* idempotent switch writes don't batch *)
     mk =
       (fun ~backend ~n ~domains ~pattern ->
         match backend with
@@ -181,12 +228,14 @@ let b1_target =
               if Array.unsafe_get pattern (i land mask) then
                 ignore (BU.read_max reg : int)
               else BU.write_max reg ~pid:d ((i * domains) + d)
-            done) }
+            done
+        | `Combining -> invalid_arg "b1-maxreg has no combining backend") }
 
 let cas_target =
   { structure = "max-register";
     impl_name = Harness.Instances.maxreg_name Harness.Instances.Cas_maxreg;
     kind = Maxreg Harness.Instances.Cas_maxreg;
+    has_combining = true;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
         match backend with
@@ -208,6 +257,27 @@ let cas_target =
               if Array.unsafe_get pattern (i land mask) then
                 ignore (CU.read_max reg : int)
               else CU.write_max reg ~pid:d ((i * domains) + d)
+            done
+        | `Combining when domains = 1 ->
+          (* create-time solo dispatch, as for algorithm-a above *)
+          ignore n;
+          let reg = CU.create () in
+          fun d i0 ->
+            for k = 0 to batch - 1 do
+              let i = i0 + k in
+              if Array.unsafe_get pattern (i land mask) then
+                ignore (CU.read_max reg : int)
+              else CU.write_max reg ~pid:d ((i * domains) + d)
+            done
+        | `Combining ->
+          ignore n;
+          let reg = CC.create ~domains () in
+          fun d i0 ->
+            for k = 0 to batch - 1 do
+              let i = i0 + k in
+              if Array.unsafe_get pattern (i land mask) then
+                ignore (CC.read_max reg : int)
+              else CC.write_max reg ~pid:d ((i * domains) + d)
             done) }
 
 let farray_target =
@@ -215,11 +285,12 @@ let farray_target =
     impl_name =
       Harness.Instances.counter_name Harness.Instances.Farray_counter;
     kind = Counter Harness.Instances.Farray_counter;
+    has_combining = true;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
-        ignore domains;
         match backend with
         | `Boxed ->
+          ignore domains;
           let c = FB.create ~n in
           fun d i0 ->
             for k = 0 to batch - 1 do
@@ -228,23 +299,42 @@ let farray_target =
               else FB.increment c ~pid:d
             done
         | `Unboxed ->
+          ignore domains;
           let c = FU.create ~n () in
           fun d i0 ->
             for k = 0 to batch - 1 do
               if Array.unsafe_get pattern ((i0 + k) land mask) then
                 ignore (FU.read c : int)
               else FU.increment c ~pid:d
+            done
+        | `Combining when domains = 1 ->
+          (* create-time solo dispatch, as for algorithm-a above *)
+          let c = FU.create ~n () in
+          fun d i0 ->
+            for k = 0 to batch - 1 do
+              if Array.unsafe_get pattern ((i0 + k) land mask) then
+                ignore (FU.read c : int)
+              else FU.increment c ~pid:d
+            done
+        | `Combining ->
+          let c = FC.create ~n ~domains () in
+          fun d i0 ->
+            for k = 0 to batch - 1 do
+              if Array.unsafe_get pattern ((i0 + k) land mask) then
+                ignore (FC.read c : int)
+              else FC.increment c ~pid:d
             done) }
 
 let naive_target =
   { structure = "counter";
     impl_name = Harness.Instances.counter_name Harness.Instances.Naive_counter;
     kind = Counter Harness.Instances.Naive_counter;
+    has_combining = true;  (* the measured control: protocol cost, no win *)
     mk =
       (fun ~backend ~n ~domains ~pattern ->
-        ignore domains;
         match backend with
         | `Boxed ->
+          ignore domains;
           let c = NB.create ~n in
           fun d i0 ->
             for k = 0 to batch - 1 do
@@ -253,16 +343,38 @@ let naive_target =
               else NB.increment c ~pid:d
             done
         | `Unboxed ->
+          ignore domains;
           let c = NU.create ~n () in
           fun d i0 ->
             for k = 0 to batch - 1 do
               if Array.unsafe_get pattern ((i0 + k) land mask) then
                 ignore (NU.read c : int)
               else NU.increment c ~pid:d
+            done
+        | `Combining when domains = 1 ->
+          (* create-time solo dispatch, as for algorithm-a above *)
+          let c = NU.create ~n () in
+          fun d i0 ->
+            for k = 0 to batch - 1 do
+              if Array.unsafe_get pattern ((i0 + k) land mask) then
+                ignore (NU.read c : int)
+              else NU.increment c ~pid:d
+            done
+        | `Combining ->
+          let c = NC.create ~n ~domains () in
+          fun d i0 ->
+            for k = 0 to batch - 1 do
+              if Array.unsafe_get pattern ((i0 + k) land mask) then
+                ignore (NC.read c : int)
+              else NC.increment c ~pid:d
             done) }
 
 let targets =
   [ alg_a_target; b1_target; cas_target; farray_target; naive_target ]
+
+let backends_of (t : target) : backend list =
+  if t.has_combining then [ `Boxed; `Unboxed; `Combining ]
+  else [ `Boxed; `Unboxed ]
 
 (* The metered closure: the same workload through the instrumented
    registry instances, recording [Op_read] per read here (the instance
@@ -297,6 +409,46 @@ let metered_op ~metrics ~kind ~n ~domains ~pattern =
         else inst.Counters.Counter.increment ~pid:d
       done
 
+(* Same, over the combining registry: returns the arena alongside so the
+   caller can flush {!Smem.Combine.stats} into [metrics] after the run
+   ({!Obs.Metrics.record_combine_stats}). *)
+let metered_combining_op ~metrics ~kind ~n ~domains ~pattern =
+  let bound = 1 lsl 20 in
+  match kind with
+  | Maxreg impl ->
+    let inst, arena =
+      Option.get
+        (Harness.Instances.maxreg_native_combining_metered ~metrics ~n ~domains
+           ~bound impl)
+    in
+    let op d i0 =
+      for k = 0 to batch - 1 do
+        let i = i0 + k in
+        if Array.unsafe_get pattern (i land mask) then begin
+          Obs.Metrics.incr metrics ~domain:d Obs.Metrics.Op_read;
+          ignore (inst.Maxreg.Max_register.read_max () : int)
+        end
+        else inst.Maxreg.Max_register.write_max ~pid:d ((i * domains) + d)
+      done
+    in
+    (op, arena)
+  | Counter impl ->
+    let inst, arena =
+      Option.get
+        (Harness.Instances.counter_native_combining_metered ~metrics ~n ~domains
+           ~bound impl)
+    in
+    let op d i0 =
+      for k = 0 to batch - 1 do
+        if Array.unsafe_get pattern ((i0 + k) land mask) then begin
+          Obs.Metrics.incr metrics ~domain:d Obs.Metrics.Op_read;
+          ignore (inst.Counters.Counter.read () : int)
+        end
+        else inst.Counters.Counter.increment ~pid:d
+      done
+    in
+    (op, arena)
+
 (* Trials can in principle produce NaN (a degenerate measurement window);
    drop non-finite samples before sorting — NaN has no consistent order
    under [compare], so it can scramble the sort — and average the two
@@ -310,7 +462,23 @@ let median xs =
     if n mod 2 = 1 then List.nth sorted (n / 2)
     else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
 
-let backend_name = function `Boxed -> "boxed" | `Unboxed -> "unboxed"
+(* Relative standard deviation of the trials (sample stddev / mean): the
+   per-row noise figure of merit.  0 for fewer than two finite samples or
+   a non-positive mean — those rows are degenerate, and the median/NaN
+   path already exposes them. *)
+let rsd xs =
+  let s = Harness.Stats.summarize xs in
+  if s.Harness.Stats.count < 2 || s.Harness.Stats.mean <= 0. then 0.
+  else s.Harness.Stats.stddev /. s.Harness.Stats.mean
+
+(* Trials noisier than this (stddev over a quarter of the mean) get
+   flagged in the table; treat such rows as unreliable. *)
+let rsd_flag_threshold = 0.25
+
+let backend_name : backend -> string = function
+  | `Boxed -> "boxed"
+  | `Unboxed -> "unboxed"
+  | `Combining -> "combining"
 
 (* Structures are sized once for the sweep's largest domain count (the
    usual benchmark convention: a structure built for P processes, of which
@@ -318,40 +486,86 @@ let backend_name = function `Boxed -> "boxed" | `Unboxed -> "unboxed"
    depths as the scaled rows rather than a degenerate one-leaf instance. *)
 let structure_n cfg = List.fold_left max 1 cfg.domain_counts
 
-let cell ~cfg ~target ~backend ~domains ~read_pct =
-  let pattern = read_pattern ~read_pct in
+(* {1 The sweep}
+
+   All cells are built before any timing: the fused closure and its
+   structure persist for the cell's whole life, so the warmup pass and
+   every earlier trial round warm exactly the code and memory that later
+   rounds measure (satellite fix for trial-to-trial variance: previously
+   each cell ran its trials back-to-back right after a cold-ish start,
+   and sweep-order drift correlated with the cell grid). *)
+
+type cell = {
+  c_target : target;
+  c_backend : backend;
+  c_domains : int;
+  c_read_pct : int;
+  c_pattern : bool array;
+  c_op : int -> int -> unit;
+  mutable c_trials : float list;  (* reverse trial order *)
+}
+
+let make_cells cfg =
   let n = structure_n cfg in
-  let op = target.mk ~backend ~n ~domains ~pattern in
+  List.concat_map
+    (fun target ->
+      List.concat_map
+        (fun backend ->
+          List.concat_map
+            (fun domains ->
+              List.map
+                (fun read_pct ->
+                  let pattern = read_pattern ~read_pct in
+                  { c_target = target;
+                    c_backend = backend;
+                    c_domains = domains;
+                    c_read_pct = read_pct;
+                    c_pattern = pattern;
+                    c_op = target.mk ~backend ~n ~domains ~pattern;
+                    c_trials = [] })
+                cfg.read_shares)
+            cfg.domain_counts)
+        (backends_of target))
+    targets
+
+(* Latency + metrics epilogue for one cell, after all trial rounds. *)
+let finish_cell ~cfg ~recommended (c : cell) =
+  let n = structure_n cfg in
+  let hists = Array.init c.c_domains (fun _ -> Obs.Histogram.create ()) in
   ignore
-    (Harness.Throughput.run_batched ~domains ~seconds:cfg.warmup_seconds
-       ~batch ~op ()
+    (Harness.Throughput.run_batched_latency ~domains:c.c_domains
+       ~seconds:cfg.seconds ~batch ~hist:hists ~op:c.c_op ()
       : float);
-  let trial_mops =
-    List.init cfg.trials (fun _ ->
-        Harness.Throughput.run_batched ~domains ~seconds:cfg.seconds ~batch ~op ()
-        /. 1e6)
-  in
-  (* Latency pass: clock around the *same* fused closure on both backends,
-     so the percentiles compare like the throughput numbers do. *)
-  let hists = Array.init domains (fun _ -> Obs.Histogram.create ()) in
-  ignore
-    (Harness.Throughput.run_batched_latency ~domains ~seconds:cfg.seconds
-       ~batch ~hist:hists ~op ()
-      : float);
-  (* Metrics pass (unboxed only): the same workload through the
+  (* Metrics pass (unboxed and combining): the same workload through the
      instrumented registry instances.  Separate from the latency pass so
      the record sites and the instances' indirect calls never sit inside
      the clocked window. *)
   let metrics =
-    match backend with
+    match c.c_backend with
     | `Boxed -> None
     | `Unboxed ->
-      let metrics = Obs.Metrics.create ~domains () in
-      let op_m = metered_op ~metrics ~kind:target.kind ~n ~domains ~pattern in
+      let metrics = Obs.Metrics.create ~domains:c.c_domains () in
+      let op_m =
+        metered_op ~metrics ~kind:c.c_target.kind ~n ~domains:c.c_domains
+          ~pattern:c.c_pattern
+      in
       ignore
-        (Harness.Throughput.run_batched ~domains ~seconds:cfg.seconds ~batch
-           ~op:op_m ()
+        (Harness.Throughput.run_batched ~domains:c.c_domains
+           ~seconds:cfg.seconds ~batch ~op:op_m ()
           : float);
+      Some (Obs.Metrics.totals metrics)
+    | `Combining ->
+      let metrics = Obs.Metrics.create ~domains:c.c_domains () in
+      let op_m, arena =
+        metered_combining_op ~metrics ~kind:c.c_target.kind ~n
+          ~domains:c.c_domains ~pattern:c.c_pattern
+      in
+      ignore
+        (Harness.Throughput.run_batched ~domains:c.c_domains
+           ~seconds:cfg.seconds ~batch ~op:op_m ()
+          : float);
+      Obs.Metrics.record_combine_stats metrics ~domain:0
+        (Smem.Combine.stats arena);
       Some (Obs.Metrics.totals metrics)
   in
   let h =
@@ -359,13 +573,16 @@ let cell ~cfg ~target ~backend ~domains ~read_pct =
       (fun acc h -> Obs.Histogram.merge acc h)
       (Obs.Histogram.create ()) hists
   in
-  { structure = target.structure;
-    impl = target.impl_name;
-    backend = backend_name backend;
-    domains;
-    read_pct;
+  let trial_mops = List.rev c.c_trials in
+  { structure = c.c_target.structure;
+    impl = c.c_target.impl_name;
+    backend = backend_name c.c_backend;
+    domains = c.c_domains;
+    read_pct = c.c_read_pct;
     mops = median trial_mops;
     trial_mops;
+    rsd = rsd trial_mops;
+    oversubscribed = c.c_domains > recommended;
     lat_p50 = Obs.Histogram.percentile h 50.;
     lat_p95 = Obs.Histogram.percentile h 95.;
     lat_p99 = Obs.Histogram.percentile h 99.;
@@ -374,22 +591,52 @@ let cell ~cfg ~target ~backend ~domains ~read_pct =
     metrics }
 
 let sweep ?(progress = fun _ -> ()) cfg =
-  List.concat_map
-    (fun target ->
-      List.concat_map
-        (fun backend ->
-          progress
-            (Printf.sprintf "%s/%s (%s)" target.structure target.impl_name
-               (backend_name backend));
-          List.concat_map
-            (fun domains ->
-              List.map
-                (fun read_pct ->
-                  cell ~cfg ~target ~backend ~domains ~read_pct)
-                cfg.read_shares)
-            cfg.domain_counts)
-        [ `Boxed; `Unboxed ])
-    targets
+  let recommended = Harness.Throughput.recommended_domains () in
+  List.iter
+    (fun d ->
+      if d > recommended then
+        progress
+          (Printf.sprintf
+             "WARNING: domains=%d exceeds this host's recommended_domains=%d; \
+              those rows time scheduler multiplexing too and are marked \
+              oversubscribed"
+             d recommended))
+    cfg.domain_counts;
+  let cells = make_cells cfg in
+  progress (Printf.sprintf "warmup: %d cells" (List.length cells));
+  List.iter
+    (fun c ->
+      ignore
+        (Harness.Throughput.run_batched ~domains:c.c_domains
+           ~seconds:cfg.warmup_seconds ~batch ~op:c.c_op ()
+          : float))
+    cells;
+  for round = 1 to cfg.trials do
+    progress (Printf.sprintf "trial round %d/%d" round cfg.trials);
+    List.iter
+      (fun c ->
+        let m =
+          Harness.Throughput.run_batched ~domains:c.c_domains
+            ~seconds:cfg.seconds ~batch ~op:c.c_op ()
+          /. 1e6
+        in
+        c.c_trials <- m :: c.c_trials)
+      cells
+  done;
+  let last_group = ref "" in
+  List.map
+    (fun c ->
+      let group =
+        Printf.sprintf "latency+metrics: %s/%s (%s)" c.c_target.structure
+          c.c_target.impl_name
+          (backend_name c.c_backend)
+      in
+      if group <> !last_group then begin
+        last_group := group;
+        progress group
+      end;
+      finish_cell ~cfg ~recommended c)
+    cells
 
 (* {1 Reporting} *)
 
@@ -397,15 +644,20 @@ let table rows =
   Harness.Tables.render
     ~title:
       "Native domain-scaling throughput: boxed (Simval Atomic) vs unboxed \
-       (padded int Atomic) backends (Mops/s, median of trials; latency \
-       percentiles and CAS failure rate from the metered pass)"
+       (padded int Atomic) vs flat-combining backends (Mops/s, median of \
+       interleaved trials; rsd = stddev/mean, '!' over 0.25; '*' marks \
+       oversubscribed domain counts; latency percentiles and CAS failure \
+       rate from the metered pass)"
     ~header:
-      [ "structure"; "impl"; "backend"; "domains"; "read%"; "Mops/s";
+      [ "structure"; "impl"; "backend"; "domains"; "read%"; "Mops/s"; "rsd";
         "p50ns"; "p99ns"; "cas-fail%" ]
     (List.map
        (fun (r : row) ->
-         [ r.structure; r.impl; r.backend; string_of_int r.domains;
+         [ r.structure; r.impl; r.backend;
+           string_of_int r.domains ^ (if r.oversubscribed then "*" else "");
            string_of_int r.read_pct; Printf.sprintf "%.2f" r.mops;
+           Printf.sprintf "%.2f%s" r.rsd
+             (if r.rsd > rsd_flag_threshold then "!" else "");
            Printf.sprintf "%.0f" r.lat_p50;
            Printf.sprintf "%.0f" r.lat_p99;
            (match r.metrics with
@@ -414,7 +666,7 @@ let table rows =
               Printf.sprintf "%.1f" (100. *. Obs.Metrics.cas_failure_rate m)) ])
        rows)
 
-let schema_version = "bench-native/v2"
+let schema_version = "bench-native/v3"
 
 let metrics_json (m : Obs.Metrics.totals) =
   Obs.Json_out.Obj
@@ -427,7 +679,12 @@ let metrics_json (m : Obs.Metrics.totals) =
       ("op_updates", Obs.Json_out.Int m.op_updates);
       ("fault_yields", Obs.Json_out.Int m.fault_yields);
       ("fault_gcs", Obs.Json_out.Int m.fault_gcs);
-      ("fault_stalls", Obs.Json_out.Int m.fault_stalls) ]
+      ("fault_stalls", Obs.Json_out.Int m.fault_stalls);
+      ("combined_ops", Obs.Json_out.Int m.combined_ops);
+      ("batches", Obs.Json_out.Int m.batches);
+      ("batch_max", Obs.Json_out.Int m.batch_max);
+      ("eliminations", Obs.Json_out.Int m.eliminations);
+      ("combiner_locks", Obs.Json_out.Int m.combiner_locks) ]
 
 let to_json ~cfg rows =
   Json_out.Obj
@@ -464,6 +721,8 @@ let to_json ~cfg rows =
                    ( "trial_mops",
                      Json_out.List
                        (List.map (fun m -> Json_out.Float m) r.trial_mops) );
+                   ("rsd", Json_out.Float r.rsd);
+                   ("oversubscribed", Json_out.Bool r.oversubscribed);
                    ( "latency_ns",
                      Json_out.Obj
                        [ ("p50", Json_out.Float r.lat_p50);

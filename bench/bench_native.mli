@@ -1,9 +1,12 @@
-(** The domain-scaling boxed-vs-unboxed benchmark behind [bin/bench.exe]:
-    max registers and counters, boxed (Simval Atomic) vs unboxed (padded
-    int Atomic) backends, swept over domain counts and read shares.
-    Throughput rows are medians of unclocked trials; latency percentiles
-    and contention metrics come from separate metered passes so the timed
-    loops stay unperturbed. *)
+(** The domain-scaling benchmark behind [bin/bench.exe]: max registers
+    and counters over three backends — boxed (Simval Atomic), unboxed
+    (padded int Atomic), and flat-combining ({!Harness.Combining} over a
+    {!Smem.Combine} arena) — swept over domain counts and read shares.
+    All cells are built up front and their throughput trials run in
+    interleaved rounds so host drift lands evenly; rows are medians with
+    a relative-stddev noise figure.  Latency percentiles and contention
+    metrics come from separate metered passes so the timed loops stay
+    unperturbed. *)
 
 type config
 
@@ -24,17 +27,26 @@ val config :
 type row
 
 val sweep : ?progress:(string -> unit) -> config -> row list
-(** Run the full sweep; [progress] receives a line per (target, backend)
-    as measurement starts. *)
+(** Run the full sweep; [progress] receives oversubscription warnings
+    (domain counts beyond {!Harness.Throughput.recommended_domains}),
+    one line per trial round, and a line per (target, backend) as the
+    latency/metrics epilogue starts. *)
 
 val median : float list -> float
 (** Median of the finite members (NaN trials are dropped; the middle
     pair is averaged on even counts).  Exposed for the regression tests
     pinning exactly that behaviour. *)
 
+val rsd : float list -> float
+(** Relative standard deviation (sample stddev / mean) of the finite
+    members; 0 for fewer than two samples or a non-positive mean.
+    Rows above 0.25 are flagged in the table. *)
+
 val table : row list -> string
 (** Rendered throughput/latency table. *)
 
 val to_json : cfg:config -> row list -> Json_out.t
-(** The machine-readable trajectory (schema "bench-native/v2") consumed
-    by EXPERIMENTS.md and the CI smoke job. *)
+(** The machine-readable trajectory (schema "bench-native/v3":
+    adds the combining backend, per-row [rsd] and [oversubscribed], and
+    combiner metrics) consumed by EXPERIMENTS.md, the CI smoke job and
+    {!Baseline}. *)

@@ -1,16 +1,20 @@
-(* bin/bench.exe — the domain-scaling boxed-vs-unboxed benchmark.
+(* bin/bench.exe — the domain-scaling native-backend benchmark.
 
-     bench [--quick] [--out BENCH_NATIVE.json] [--max-domains P]
-           [--seconds S] [--trials T] [--read-shares 0,50,90,99]
+     bench [--quick] [--out BENCH_NATIVE.json] [--baseline FILE]
+           [--max-domains P] [--seconds S] [--trials T]
+           [--read-shares 0,50,90,99]
 
    Prints the throughput table and writes the machine-readable trajectory
-   (schema "bench-native/v2": median throughput, latency percentiles from
-   the metered pass, and contention metrics for the unboxed backend) used
-   by EXPERIMENTS.md and the CI smoke job. *)
+   (schema "bench-native/v3": median throughput with rsd noise figure,
+   latency percentiles from the metered pass, contention metrics for the
+   unboxed backend and combiner metrics for the flat-combining backend)
+   used by EXPERIMENTS.md and the CI smoke job.  With [--baseline] the
+   fresh rows are diffed against a previously written trajectory —
+   warn-only: regressions are reported, never fatal. *)
 
 open Cmdliner
 
-let run quick out max_domains seconds trials read_shares =
+let run quick out baseline max_domains seconds trials read_shares =
   let cfg =
     Benchkit.Bench_native.config ~quick ~max_domains ?seconds ?trials
       ~read_shares ()
@@ -21,8 +25,24 @@ let run quick out max_domains seconds trials read_shares =
       cfg
   in
   print_string (Benchkit.Bench_native.table rows);
-  Benchkit.Json_out.to_file out (Benchkit.Bench_native.to_json ~cfg rows);
-  Printf.printf "\nwrote %s (%d rows)\n" out (List.length rows)
+  let doc = Benchkit.Bench_native.to_json ~cfg rows in
+  Benchkit.Json_out.to_file out doc;
+  Printf.printf "\nwrote %s (%d rows)\n" out (List.length rows);
+  match baseline with
+  | None -> ()
+  | Some file ->
+    (match
+       let contents = In_channel.with_open_text file In_channel.input_all in
+       Benchkit.Json_out.parse contents
+     with
+     | base ->
+       print_newline ();
+       print_string
+         (Benchkit.Baseline.report ~baseline:base ~current:doc ())
+     | exception Sys_error msg ->
+       Printf.eprintf "bench: cannot read baseline: %s\n" msg
+     | exception Benchkit.Json_out.Parse_error msg ->
+       Printf.eprintf "bench: baseline %s does not parse: %s\n" file msg)
 
 let quick =
   Arg.(value & flag
@@ -32,6 +52,14 @@ let out =
   Arg.(value
        & opt string "BENCH_NATIVE.json"
        & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the JSON trajectory.")
+
+let baseline =
+  Arg.(value
+       & opt (some string) None
+       & info [ "baseline" ] ~docv:"FILE"
+           ~doc:
+             "Diff the fresh rows against a previously written trajectory \
+              (schema v2 or v3); report regressions, warn-only.")
 
 let max_domains =
   Arg.(value & opt int 4
@@ -56,9 +84,9 @@ let cmd =
   Cmd.v
     (Cmd.info "bench" ~version:"1.0"
        ~doc:
-         "Domain-scaling throughput of the boxed vs unboxed native \
-          backends (PODC'14 reproduction).")
-    Term.(const run $ quick $ out $ max_domains $ seconds $ trials
+         "Domain-scaling throughput of the boxed, unboxed and \
+          flat-combining native backends (PODC'14 reproduction).")
+    Term.(const run $ quick $ out $ baseline $ max_domains $ seconds $ trials
           $ read_shares)
 
 let () = exit (Cmd.eval cmd)

@@ -332,7 +332,36 @@ let chaos ~seed ~ops =
       in
       let h = Harness.Chaos.burst_snapshot c ~domains:3 ~ops_per_domain:6 sn in
       if not (Linearize.Checker.check (module Linearize.Spec.Snapshot) ~n:3 h)
-      then fail "snapshot burst (seed %d) not linearizable" s)
+      then fail "snapshot burst (seed %d) not linearizable" s;
+      (* the flat-combining backends, injection at op boundaries: storms
+         can park a domain right after it published to its arena slot or
+         released the combiner lock *)
+      List.iter
+        (fun impl ->
+          let reg, _arena =
+            Option.get (Harness.Chaos.maxreg_combining c ~n:3 ~domains:3 impl)
+          in
+          let h =
+            Harness.Chaos.burst_maxreg c ~domains:3 ~ops_per_domain:8 reg
+          in
+          if
+            not
+              (Linearize.Checker.check
+                 (module Linearize.Spec.Max_register)
+                 ~n:3 h)
+          then
+            fail "combining %s burst (seed %d) not linearizable"
+              (Harness.Instances.maxreg_name impl)
+              s)
+        [ Harness.Instances.Algorithm_a; Harness.Instances.Cas_maxreg ];
+      let ccnt, _arena =
+        Option.get
+          (Harness.Chaos.counter_combining c ~n:3 ~domains:3
+             Harness.Instances.Farray_counter)
+      in
+      let h = Harness.Chaos.burst_counter c ~domains:3 ~ops_per_domain:8 ccnt in
+      if not (Linearize.Checker.check (module Linearize.Spec.Counter) ~n:3 h)
+      then fail "combining counter burst (seed %d) not linearizable" s)
     burst_seeds;
   (* invariant runs at scale, production injection rates *)
   let c = Harness.Chaos.config ~metrics ~seed () in
@@ -398,14 +427,63 @@ let chaos ~seed ~ops =
           done)
   in
   if not !scans_monotone then fail "snapshot scans went backwards";
+  (* combining invariant runs at scale: exact totals and monotone maxima
+     must survive chaos through the arena protocol too *)
+  let ccnt, cnt_arena =
+    Option.get
+      (Harness.Chaos.counter_combining c ~n:domains ~domains
+         Harness.Instances.Farray_counter)
+  in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains (fun pid ->
+        for _ = 1 to per_domain do
+          ccnt.increment ~pid
+        done)
+  in
+  if ccnt.read () <> domains * per_domain then
+    fail "combining counter total %d, expected %d" (ccnt.read ())
+      (domains * per_domain);
+  let creg, reg_arena =
+    Option.get
+      (Harness.Chaos.maxreg_combining c ~n:domains ~domains
+         Harness.Instances.Algorithm_a)
+  in
+  let creads_monotone = ref true in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains (fun pid ->
+        if pid = 0 then begin
+          let last = ref 0 in
+          for _ = 1 to per_domain do
+            let v = creg.read_max () in
+            if v < !last then creads_monotone := false;
+            last := v
+          done
+        end
+        else
+          for v = 1 to per_domain do
+            creg.write_max ~pid ((v * domains) + pid)
+          done)
+  in
+  if not !creads_monotone then fail "combining max-register reads went backwards";
+  let expect = (per_domain * domains) + (domains - 1) in
+  if creg.read_max () <> expect then
+    fail "combining final maximum %d, expected %d" (creg.read_max ()) expect;
+  Obs.Metrics.record_combine_stats metrics ~domain:0
+    (Smem.Combine.stats cnt_arena);
+  Obs.Metrics.record_combine_stats metrics ~domain:0
+    (Smem.Combine.stats reg_arena);
   let t = Obs.Metrics.totals metrics in
   Printf.printf
     "chaos seed %d: %d bursts checked, %d ops/structure over %d domains\n\
-     injected: %d yield storms, %d gc pressure events, %d stalls\n"
+     injected: %d yield storms, %d gc pressure events, %d stalls\n\
+     combining (scale runs): %d ops in %d batches (max %d), %d eliminations, \
+     %d lock acquisitions\n"
     seed
-    (3 * List.length burst_seeds)
+    (6 * List.length burst_seeds)
     (domains * per_domain) domains t.Obs.Metrics.fault_yields
-    t.Obs.Metrics.fault_gcs t.Obs.Metrics.fault_stalls;
+    t.Obs.Metrics.fault_gcs t.Obs.Metrics.fault_stalls
+    t.Obs.Metrics.combined_ops t.Obs.Metrics.batches t.Obs.Metrics.batch_max
+    t.Obs.Metrics.eliminations t.Obs.Metrics.combiner_locks;
   match List.rev !failures with
   | [] ->
     print_endline "no violations";

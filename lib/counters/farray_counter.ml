@@ -46,10 +46,30 @@ module Unboxed = struct
     let c = if c = bot then 0 else c in
     F.update t ~leaf:pid (c + 1)
 
+  (* Batched increment, for the flat-combining layer: add [k] to the
+     caller's own leaf with ONE update (one propagation for the whole
+     batch).  The counter's value is the sum over all leaves, so which
+     leaf absorbs a combined batch is immaterial — the combiner uses its
+     own, preserving the per-leaf single-writer discipline. *)
+  let add t ~pid k =
+    if k < 0 then invalid_arg "Farray_counter.add: negative k";
+    let c = F.read_leaf t pid in
+    let c = if c = bot then 0 else c in
+    F.update t ~leaf:pid (c + k)
+
   (* [increment] through the metered f-array update: propagation refresh
      rounds and CAS outcomes recorded under shard [pid]. *)
   let increment_metered t ~metrics ~pid =
     let c = F.read_leaf t pid in
     let c = if c = bot then 0 else c in
     F.update_metered t ~metrics ~domain:pid ~leaf:pid (c + 1)
+
+  let add_metered t ~metrics ~pid k =
+    if not metrics.Obs.Metrics.enabled then add t ~pid k
+    else begin
+      if k < 0 then invalid_arg "Farray_counter.add: negative k";
+      let c = F.read_leaf t pid in
+      let c = if c = bot then 0 else c in
+      F.update_metered t ~metrics ~domain:pid ~leaf:pid (c + k)
+    end
 end

@@ -25,5 +25,14 @@ module Unboxed : sig
   (** [increment] with propagation refresh rounds and CAS outcomes
       recorded under shard [pid]; free with {!Obs.Metrics.disabled}. *)
 
+  val add : t -> pid:int -> int -> unit
+  (** [add t ~pid k] adds [k] to the caller's own leaf with one update
+      (one propagation for the whole batch) — the combining layer's
+      apply: the counter value is the sum over leaves, so the combiner
+      absorbs a batch at its own leaf without breaking the single-writer
+      discipline. *)
+
+  val add_metered : t -> metrics:Obs.Metrics.t -> pid:int -> int -> unit
+
   val read : t -> int
 end

@@ -142,6 +142,55 @@ let counter cfg ~n ~bound impl =
 let snapshot cfg ~n impl =
   Instances.snapshot_over (wrap cfg Instances.native) ~n impl
 
+(* {1 Op-boundary injection}
+
+   The combining backends inline their Atomic primitives (arena slots,
+   lock, the unboxed structures underneath), so the MEMORY wrapper above
+   cannot reach them.  The available seam is the operation boundary:
+   roll the injection dice before and after each high-level op.  Coarser
+   than per-memory-op injection, but it is exactly the placement that
+   stresses the combining protocol — a storm before the op perturbs who
+   publishes vs who combines, a storm after it parks a domain that just
+   held the combiner lock while others pile into the slots. *)
+
+let instrument_maxreg cfg (i : Maxreg.Max_register.instance) :
+    Maxreg.Max_register.instance =
+  { read_max =
+      (fun () ->
+        Inject.boundary cfg;
+        let v = i.read_max () in
+        Inject.boundary cfg;
+        v);
+    write_max =
+      (fun ~pid v ->
+        Inject.boundary cfg;
+        i.write_max ~pid v;
+        Inject.boundary cfg) }
+
+let instrument_counter cfg (i : Counters.Counter.instance) :
+    Counters.Counter.instance =
+  { increment =
+      (fun ~pid ->
+        Inject.boundary cfg;
+        i.increment ~pid;
+        Inject.boundary cfg);
+    read =
+      (fun () ->
+        Inject.boundary cfg;
+        let v = i.read () in
+        Inject.boundary cfg;
+        v) }
+
+let maxreg_combining cfg ~n ~domains impl =
+  Option.map
+    (fun (inst, arena) -> (instrument_maxreg cfg inst, arena))
+    (Instances.maxreg_native_combining ~n ~domains ~bound:(1 lsl 30) impl)
+
+let counter_combining cfg ~n ~domains impl =
+  Option.map
+    (fun (inst, arena) -> (instrument_counter cfg inst, arena))
+    (Instances.counter_native_combining ~n ~domains ~bound:(1 lsl 30) impl)
+
 (* {1 Linearizability bursts} *)
 
 let check_burst_size ~domains ~ops_per_domain =

@@ -13,7 +13,7 @@
     index), so a violating run is replayable from its seed.  Every
     injected fault is counted in the config's {!Obs.Metrics.t} handle
     ([Fault_yield]/[Fault_gc]/[Fault_stall]), making chaos visible in
-    bench-native/v2 output.
+    bench-native/v3 output.
 
     The unboxed [_native_fast] instances inline their Atomic primitives
     precisely to admit no wrapper, so chaos instruments the boxed
@@ -92,6 +92,32 @@ val counter :
 
 val snapshot :
   config -> n:int -> Instances.snapshot_impl -> Snapshots.Snapshot.instance
+
+(** {1 Op-boundary injection (combining backends)}
+
+    The combining backends inline their Atomic primitives (arena slots,
+    combiner lock, unboxed trees), so the MEMORY wrapper cannot reach
+    them; instead the injection dice are rolled at every operation
+    boundary (before and after each high-level op).  Coarser than
+    per-memory-op injection, but it is the placement that stresses the
+    combining protocol: a storm can park a domain right after it
+    published to a slot, or right after it released the combiner lock. *)
+
+val instrument_maxreg :
+  config -> Maxreg.Max_register.instance -> Maxreg.Max_register.instance
+
+val instrument_counter :
+  config -> Counters.Counter.instance -> Counters.Counter.instance
+
+val maxreg_combining :
+  config -> n:int -> domains:int -> Instances.maxreg_impl ->
+  (Maxreg.Max_register.instance * Smem.Combine.t) option
+(** {!Instances.maxreg_native_combining} with op-boundary injection;
+    [None] exactly when the implementation has no combining layer. *)
+
+val counter_combining :
+  config -> n:int -> domains:int -> Instances.counter_impl ->
+  (Counters.Counter.instance * Smem.Combine.t) option
 
 (** {1 Linearizability bursts}
 

@@ -277,3 +277,103 @@ let counter_native_metered ~metrics ~n ~bound impl :
        constructions have no unboxed fast path or no int specialization —
        meter whatever fast path exists with op counts *)
     Option.map (meter_counter ~metrics) (counter_native_fast ~n ~bound impl)
+
+(* {1 Flat-combining native constructors}
+
+   The unboxed fast-path implementations behind a {!Smem.Combine} arena
+   (see {!Combining}): contended updates are batched — one tree
+   traversal per combined batch — and stale WriteMax calls are
+   eliminated against the root.  Returns the arena alongside the
+   instance so measurement drivers can read {!Smem.Combine.stats}
+   (flushed into Obs metrics via [record_combine_stats]).  [domains] is
+   the arena's slot count: every [pid] passed to an operation must be in
+   [0 .. domains-1].  [None] exactly for the implementations with no
+   combining layer: the AAC constructions (no unboxed specialization),
+   B1 (idempotent switch writes — no per-op propagation to batch), and
+   the literal-line-16 ablation (kept pure as the paper-faithful bug
+   exhibit). *)
+
+let maxreg_native_combining ~n ~domains ~bound impl :
+    (Maxreg.Max_register.instance * Smem.Combine.t) option =
+  ignore bound;
+  match impl with
+  | Algorithm_a ->
+    let t = Combining.Alg_a.create ~n ~domains () in
+    Some
+      ( { Maxreg.Max_register.read_max = (fun () -> Combining.Alg_a.read_max t);
+          write_max = (fun ~pid v -> Combining.Alg_a.write_max t ~pid v) },
+        Combining.Alg_a.arena t )
+  | Cas_maxreg ->
+    let t = Combining.Cas.create ~domains () in
+    Some
+      ( { Maxreg.Max_register.read_max = (fun () -> Combining.Cas.read_max t);
+          write_max = (fun ~pid v -> Combining.Cas.write_max t ~pid v) },
+        Combining.Cas.arena t )
+  | Algorithm_a_literal | B1_maxreg | Aac_maxreg -> None
+
+let counter_native_combining ~n ~domains ~bound impl :
+    (Counters.Counter.instance * Smem.Combine.t) option =
+  ignore bound;
+  match impl with
+  | Farray_counter ->
+    let t = Combining.Farray_c.create ~n ~domains () in
+    Some
+      ( { Counters.Counter.increment =
+            (fun ~pid -> Combining.Farray_c.increment t ~pid);
+          read = (fun () -> Combining.Farray_c.read t) },
+        Combining.Farray_c.arena t )
+  | Naive_counter ->
+    let t = Combining.Naive_c.create ~n ~domains () in
+    Some
+      ( { Counters.Counter.increment =
+            (fun ~pid -> Combining.Naive_c.increment t ~pid);
+          read = (fun () -> Combining.Naive_c.read t) },
+        Combining.Naive_c.arena t )
+  | Aac_counter | Snapshot_counter _ -> None
+
+(* Metered combining: [Op_update] per update via the usual wrapper, CAS
+   and refresh counts recorded by the [_metered] apply under the
+   combiner's shard.  A disabled handle returns the uninstrumented
+   combining instance, mirroring the [_native_metered] constructors. *)
+
+let maxreg_native_combining_metered ~metrics ~n ~domains ~bound impl :
+    (Maxreg.Max_register.instance * Smem.Combine.t) option =
+  if not (Obs.Metrics.enabled metrics) then
+    maxreg_native_combining ~n ~domains ~bound impl
+  else
+    match impl with
+    | Algorithm_a ->
+      let t = Combining.Alg_a.create_metered ~metrics ~n ~domains () in
+      Some
+        ( meter_maxreg ~metrics
+            { read_max = (fun () -> Combining.Alg_a.read_max t);
+              write_max = (fun ~pid v -> Combining.Alg_a.write_max t ~pid v) },
+          Combining.Alg_a.arena t )
+    | Cas_maxreg ->
+      let t = Combining.Cas.create_metered ~metrics ~domains () in
+      Some
+        ( meter_maxreg ~metrics
+            { read_max = (fun () -> Combining.Cas.read_max t);
+              write_max = (fun ~pid v -> Combining.Cas.write_max t ~pid v) },
+          Combining.Cas.arena t )
+    | Algorithm_a_literal | B1_maxreg | Aac_maxreg -> None
+
+let counter_native_combining_metered ~metrics ~n ~domains ~bound impl :
+    (Counters.Counter.instance * Smem.Combine.t) option =
+  if not (Obs.Metrics.enabled metrics) then
+    counter_native_combining ~n ~domains ~bound impl
+  else
+    match impl with
+    | Farray_counter ->
+      let t = Combining.Farray_c.create_metered ~metrics ~n ~domains () in
+      Some
+        ( meter_counter ~metrics
+            { increment = (fun ~pid -> Combining.Farray_c.increment t ~pid);
+              read = (fun () -> Combining.Farray_c.read t) },
+          Combining.Farray_c.arena t )
+    | Naive_counter ->
+      (* the control has no CAS to meter: op counts only *)
+      Option.map
+        (fun (inst, arena) -> (meter_counter ~metrics inst, arena))
+        (counter_native_combining ~n ~domains ~bound impl)
+    | Aac_counter | Snapshot_counter _ -> None

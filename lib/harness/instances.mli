@@ -128,3 +128,41 @@ val maxreg_native_metered :
 val counter_native_metered :
   metrics:Obs.Metrics.t ->
   n:int -> bound:int -> counter_impl -> Counters.Counter.instance option
+
+(** {1 Flat-combining native constructors}
+
+    The unboxed fast-path implementations behind a {!Smem.Combine}
+    flat-combining arena (see {!Combining} and DESIGN.md §12): the
+    uncontended fast path stays the plain backend's cost, contended
+    updates batch into one tree traversal per combined batch, and stale
+    WriteMax calls eliminate against the monotone root.  The arena is
+    returned alongside the instance so drivers can read
+    {!Smem.Combine.stats}.  [domains] sizes the arena: every [pid]
+    passed to an operation must be in [0 .. domains-1] (with
+    [domains = 1] the arena is bypassed).  [None] for implementations
+    with no combining layer (AAC, B1, the literal-line-16 ablation).
+
+    The [_metered] variants add [Op_update] per update and route the
+    combiner's apply through the [_metered] structure entry points (CAS
+    and refresh counts under the combiner's shard); with a disabled
+    handle they return the uninstrumented combining instance.  Combining
+    stats always live in the arena — flush them with
+    {!Obs.Metrics.record_combine_stats} once per run. *)
+
+val maxreg_native_combining :
+  n:int -> domains:int -> bound:int -> maxreg_impl ->
+  (Maxreg.Max_register.instance * Smem.Combine.t) option
+
+val counter_native_combining :
+  n:int -> domains:int -> bound:int -> counter_impl ->
+  (Counters.Counter.instance * Smem.Combine.t) option
+
+val maxreg_native_combining_metered :
+  metrics:Obs.Metrics.t ->
+  n:int -> domains:int -> bound:int -> maxreg_impl ->
+  (Maxreg.Max_register.instance * Smem.Combine.t) option
+
+val counter_native_combining_metered :
+  metrics:Obs.Metrics.t ->
+  n:int -> domains:int -> bound:int -> counter_impl ->
+  (Counters.Counter.instance * Smem.Combine.t) option

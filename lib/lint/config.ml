@@ -36,7 +36,9 @@ let default =
     r1_banned = [ "Atomic"; "Obj"; "Domain"; "Mutex"; "Condition"; "Semaphore" ];
     r1_allow =
       [ (* the memory layer itself: boxed/unboxed/counting/sim backends,
-           the Obj-built Padded blocks, Lazy_cell *)
+           the Obj-built Padded blocks, Lazy_cell, and the
+           flat-combining arena (Combine: publication slots, combiner
+           lock, single-writer stat cells) *)
         Dir "lib/smem";
         (* single-writer metric shards and their padded cells *)
         Dir "lib/obs";
@@ -105,7 +107,21 @@ let default =
           mode = Body };
         { qual = [ "Propagate"; "Unboxed"; "propagate_metered" ]; mode = Body };
         { qual = [ "Throughput"; "run_alone" ]; mode = Loops };
-        { qual = [ "Throughput"; "run_batched" ]; mode = Loops } ];
+        { qual = [ "Throughput"; "run_batched" ]; mode = Loops };
+        (* the flat-combining arena hot paths: submit (fast path and
+           publish), the combiner's drain, and the stat recorders —
+           every one must stay allocation-free or the arena taxes the
+           very operations it batches *)
+        { qual = [ "Combine"; "bump" ]; mode = Body };
+        { qual = [ "Combine"; "bump_max" ]; mode = Body };
+        { qual = [ "Combine"; "record_elimination" ]; mode = Body };
+        { qual = [ "Combine"; "scan_mask" ]; mode = Body };
+        { qual = [ "Combine"; "gather" ]; mode = Body };
+        { qual = [ "Combine"; "clear_slots" ]; mode = Body };
+        { qual = [ "Combine"; "popcount" ]; mode = Body };
+        { qual = [ "Combine"; "apply_batch" ]; mode = Body };
+        { qual = [ "Combine"; "wait_or_combine" ]; mode = Body };
+        { qual = [ "Combine"; "submit" ]; mode = Body } ];
     (* R4: every library module pins its public surface.  Allowlist:
        signature-only modules (nothing to hide) and executable entry
        modules living next to library code. *)

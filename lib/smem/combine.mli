@@ -1,0 +1,87 @@
+(** A cache-padded flat-combining arena for semantically combinable
+    operations.
+
+    An op is an immediate [int] (a WriteMax value, an increment count);
+    [combine] must be associative and idempotence-compatible with the
+    structure's semantics: applying [combine a b] once must be
+    observationally equivalent to applying [a] and [b] in either order
+    (max for max registers, [(+)] for counters).
+
+    Protocol ({!submit}): one publication slot per domain.  The caller
+    first tries to acquire the combiner lock with a single CAS; on
+    success it applies its own op combined with every pending slot in
+    {e one} [apply] call, clears the drained slots, and releases.
+    Otherwise it publishes its op to its slot and parks (bounded
+    cpu_relax spin, then [Unix.sleepf] so an oversubscribed host can
+    schedule the combiner), re-attempting the lock until its slot reads
+    empty.  Slots are cleared only {e after} the combined op is applied,
+    so a returned [submit] guarantees the op's effect is visible: the
+    waiter's op linearizes at the combiner's apply point (DESIGN.md
+    §12).
+
+    [apply] must not raise: an exception would leave the lock held and
+    parked waiters stranded.  Validate op values before submitting.
+
+    With [domains = 1] the arena is bypassed entirely ([submit] is one
+    branch plus the [apply] call): a single participating domain cannot
+    contend, and the single-domain benchmark rows must not pay for
+    machinery they cannot use.  No stats are recorded on that path.
+
+    Stats are per-domain single-writer padded cells (plain load + store,
+    never an RMW), merged on read — the same discipline as
+    [Obs.Metrics] shards, kept separate because smem sits below obs in
+    the dependency order.  Elimination tallies — the one stat recorded
+    on the lock-free fast path — are plain (unfenced) cells: they are
+    exact once the writing domains have been joined, which is when this
+    repo reads them; a [stats] call concurrent with recording may see a
+    slightly stale elimination count. *)
+
+type t
+
+val max_domains : int
+(** 62: slots are tracked in one immediate-int bitmask. *)
+
+val create : ?spin:int -> domains:int -> combine:(int -> int -> int) -> unit -> t
+(** An arena for domain ids [0 .. domains-1] ([1 <= domains <=
+    {!max_domains}]).  [spin] (default 256) is the cpu_relax budget
+    between lock attempts while parked, before falling back to a 50µs
+    sleep. *)
+
+val domains : t -> int
+
+val submit : t -> domain:int -> apply:(int -> int -> unit) -> int -> unit
+(** [submit t ~domain ~apply op] completes [op], either by becoming the
+    combiner (applying [apply d combined] where [d = domain] and
+    [combined] folds every pending op with {!create}'s [combine]) or by
+    having a concurrent combiner subsume it.  On return the op's effect
+    is applied.  [apply] receives the {e combiner's} domain id — for
+    structures with per-process slots (f-array leaves) the whole batch
+    lands on the combiner's own leaf, preserving the single-writer
+    discipline.  Pass a closure built once at structure creation: a
+    literal [fun] here would allocate per call.  [op] must differ from
+    the [min_int] sentinel. *)
+
+val record_elimination : t -> domain:int -> unit
+(** Count one locally-eliminated op (e.g. a WriteMax at or below the
+    current root value, completed with zero shared writes).  The
+    elimination itself is the caller's structure-specific check; the
+    arena only keeps the tally. *)
+
+(** {1 Merge-on-read stats} *)
+
+type stats = {
+  lock_acquisitions : int;  (** combiner-lock CAS successes *)
+  batches : int;            (** drains that applied >= 2 ops at once *)
+  combined_ops : int;       (** ops applied inside those batches *)
+  batch_max : int;          (** largest single batch *)
+  eliminations : int;       (** ops completed locally with zero shared writes *)
+}
+
+val zero_stats : stats
+
+val stats : t -> stats
+(** Sum (max for [batch_max]) over the per-domain cells; safe
+    concurrently with recording, though [eliminations] is exact only at
+    quiescence (its cells are unfenced — see the header). *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,13 @@
+(* R1 fixture for [Dir]-entry granularity: this whole file is
+   allowlisted in the test config (Dir "test/lint_fixtures/r1_dir_ok.ml",
+   the same shape the default config uses for lib/smem and
+   lib/harness/throughput.ml), so its raw primitives — both at toplevel
+   and inside a submodule — must produce no R1 diagnostics at all.
+   Expected: zero diagnostics from this file under R1. *)
+
+let cell = Atomic.make 0
+let bump () = Atomic.incr cell
+
+module Nested = struct
+  let who () = (Domain.self () :> int)
+end

@@ -54,6 +54,81 @@ let test_burst_snapshot () =
         (lin_snapshot ~n:3 ops))
     seeds
 
+(* Combining backends under the same aggressive chaos: injection happens
+   at op boundaries (the arena's Atomics are inlined), so storms park
+   domains right after publishing to a slot or releasing the combiner
+   lock — the histories must still linearize. *)
+let test_burst_combining () =
+  List.iter
+    (fun seed ->
+      let c = cfg seed in
+      List.iter
+        (fun impl ->
+          let reg, _arena =
+            Option.get (Harness.Chaos.maxreg_combining c ~n:3 ~domains:3 impl)
+          in
+          let ops =
+            Harness.Chaos.burst_maxreg c ~domains:3 ~ops_per_domain:8 reg
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "combining %s burst linearizes (seed %d)"
+               (Harness.Instances.maxreg_name impl)
+               seed)
+            true
+            (lin_maxreg ~n:3 ops))
+        [ Harness.Instances.Algorithm_a; Harness.Instances.Cas_maxreg ];
+      let cnt, _arena =
+        Option.get
+          (Harness.Chaos.counter_combining c ~n:3 ~domains:3
+             Harness.Instances.Farray_counter)
+      in
+      let ops = Harness.Chaos.burst_counter c ~domains:3 ~ops_per_domain:8 cnt in
+      Alcotest.(check bool)
+        (Printf.sprintf "combining f-array counter burst linearizes (seed %d)"
+           seed)
+        true
+        (lin_counter ~n:3 ops))
+    seeds
+
+(* And a soak: exact totals and maxima through the arena protocol under
+   sustained chaos, too many ops for full history checking. *)
+let test_combining_invariants_under_chaos () =
+  let c = cfg 97 in
+  let domains = 4 in
+  let per_domain = 5_000 in
+  let cnt, _ =
+    Option.get
+      (Harness.Chaos.counter_combining c ~n:domains ~domains
+         Harness.Instances.Farray_counter)
+  in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains (fun pid ->
+        for _ = 1 to per_domain do
+          cnt.increment ~pid
+        done)
+  in
+  Alcotest.(check int) "combining counter exact under chaos"
+    (domains * per_domain) (cnt.read ());
+  let reg, arena =
+    Option.get
+      (Harness.Chaos.maxreg_combining c ~n:domains ~domains
+         Harness.Instances.Algorithm_a)
+  in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains (fun pid ->
+        for v = 1 to per_domain do
+          reg.write_max ~pid ((v * domains) + pid)
+        done)
+  in
+  Alcotest.(check int) "combining maximum exact under chaos"
+    ((per_domain * domains) + (domains - 1))
+    (reg.read_max ());
+  (* every update is accounted for somewhere: lock-held drains,
+     combined batches, or eliminations *)
+  let s = Smem.Combine.stats arena in
+  Alcotest.(check bool) "arena saw activity" true
+    (s.Smem.Combine.lock_acquisitions + s.Smem.Combine.eliminations > 0)
+
 let test_burst_rejects_oversize () =
   let c = cfg 1 in
   let reg = Harness.Chaos.maxreg c ~n:2 ~bound:64 Harness.Instances.Cas_maxreg in
@@ -235,6 +310,8 @@ let () =
             test_burst_counter;
           Alcotest.test_case "f-array snapshot bursts linearize" `Quick
             test_burst_snapshot;
+          Alcotest.test_case "combining bursts linearize" `Quick
+            test_burst_combining;
           Alcotest.test_case "oversize burst refused" `Quick
             test_burst_rejects_oversize ] );
       ( "broken fixture",
@@ -248,4 +325,6 @@ let () =
             `Quick test_fault_counters_recorded ] );
       ( "invariants",
         [ Alcotest.test_case "totals exact, maxima monotone" `Slow
-            test_invariants_under_chaos ] ) ]
+            test_invariants_under_chaos;
+          Alcotest.test_case "combining totals and maxima exact" `Slow
+            test_combining_invariants_under_chaos ] ) ]

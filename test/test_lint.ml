@@ -29,7 +29,11 @@ let fixture_build_dir =
 let fixture_config =
   { Lint.Config.default with
     scope_dirs = [ fixture_dir ];
-    r1_allow = [ Lint.Config.Module_path [ "R1_split"; "Unboxed" ] ];
+    r1_allow =
+      [ Lint.Config.Module_path [ "R1_split"; "Unboxed" ];
+        (* whole-file allow, the shape the default config uses for
+           lib/smem and lib/harness/throughput.ml *)
+        Lint.Config.Dir (fixture_dir ^ "/r1_dir_ok.ml") ];
     r2_dirs = [ fixture_dir ];
     r3_targets =
       [ { qual = [ "R3_bad"; "hot" ]; mode = Lint.Config.Body };
@@ -73,6 +77,13 @@ let test_r1_submodule_allowlist () =
   Alcotest.(check int) "r1_split violation line" 11
     (List.hd split).Lint.Diagnostic.line
 
+let test_r1_dir_allowlist () =
+  let ds = by_rule "R1" (run_fixtures ~rules:[ "R1" ] ()) in
+  let ok = in_file (fixture_dir ^ "/r1_dir_ok.ml") ds in
+  (* the Dir entry short-circuits the whole file: toplevel Atomic and
+     the nested Domain.self alike *)
+  Alcotest.(check int) "r1_dir_ok violation count" 0 (List.length ok)
+
 let test_r2_spin_and_stale_retry () =
   let ds = by_rule "R2" (run_fixtures ~rules:[ "R2" ] ()) in
   let bad = in_file (fixture_dir ^ "/r2_bad.ml") ds in
@@ -99,6 +110,7 @@ let test_r4_missing_interfaces () =
   let files = List.map (fun d -> d.Lint.Diagnostic.file) ds in
   Alcotest.(check (list string)) "r4 flags every fixture module"
     [ fixture_dir ^ "/r1_bad.ml";
+      fixture_dir ^ "/r1_dir_ok.ml";
       fixture_dir ^ "/r1_split.ml";
       fixture_dir ^ "/r2_bad.ml";
       fixture_dir ^ "/r3_bad.ml" ]
@@ -154,6 +166,8 @@ let () =
            test_r1_flags_raw_primitives;
          Alcotest.test_case "R1 submodule allowlist" `Quick
            test_r1_submodule_allowlist;
+         Alcotest.test_case "R1 whole-file Dir allowlist" `Quick
+           test_r1_dir_allowlist;
          Alcotest.test_case "R2 spin + stale retry" `Quick
            test_r2_spin_and_stale_retry;
          Alcotest.test_case "R3 hot-path allocation" `Quick
