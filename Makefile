@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-all check lint tsan chaos bench bench-native experiments examples clean doc
+.PHONY: all build test test-all check lint tsan chaos adaptive bench bench-native experiments examples clean doc
 
 all: build
 
@@ -33,7 +33,14 @@ tsan:
 	dune exec test/test_obs.exe
 	dune exec test/test_native.exe
 	dune exec test/test_combining.exe
+	dune exec test/test_adaptive.exe
 	dune exec bin/bench.exe -- --quick --max-domains 2 -o /tmp/tsan-bench.json
+
+# adaptive-dispatch smoke: the policy/differential/parallel suite plus
+# a quick bench pass over all four backends (adaptive column included)
+adaptive:
+	dune exec test/test_adaptive.exe
+	dune exec bin/bench.exe -- --quick --max-domains 2 -o /tmp/adaptive-bench.json
 
 # fault sweeps (exhaustive, simulator) + native chaos soak (~1 min)
 chaos:

@@ -6,9 +6,19 @@
    exactly how noisy), so the report flags suspects for a human.
 
    Works on parsed {!Json_out.t} documents rather than [Bench_native.row]
-   so both sides go through the same schema accessors; v2 baselines
-   (no combining rows, no [rsd]) still diff fine — unmatched rows are
-   counted, not errors. *)
+   so both sides go through the same schema accessors; v2/v3 baselines
+   (no combining rows; no adaptive rows) still diff fine — unmatched
+   rows are counted, not errors.
+
+   Matching is keyed through a [Hashtbl] (one pass over the baseline,
+   one over the current rows) rather than a per-row [List.find_opt]
+   scan: the old O(rows²) polymorphic-equality walk also matched only
+   the first of duplicated baseline keys {e silently} — duplicates now
+   produce a warning (the first occurrence still wins, keeping the
+   matching deterministic).  Everything downstream ({!report},
+   {!regression_count}) is a view over ONE {!analyze} result, so the
+   documents are parsed and diffed exactly once however many views a
+   caller takes. *)
 
 type entry = {
   structure : string;
@@ -42,6 +52,10 @@ let schema_of_doc doc =
 
 let key e = (e.structure, e.impl, e.backend, e.domains, e.read_pct)
 
+let key_name e =
+  Printf.sprintf "%s/%s %s d=%d r=%d%%" e.structure e.impl e.backend e.domains
+    e.read_pct
+
 type delta = {
   cur : entry;
   base_mops : float;
@@ -49,57 +63,88 @@ type delta = {
 }
 
 let diff ~baseline ~current =
-  List.filter_map
-    (fun c ->
-      match List.find_opt (fun b -> key b = key c) baseline with
-      | Some b when Float.is_finite b.mops && b.mops > 0. ->
-        Some { cur = c; base_mops = b.mops; ratio = c.mops /. b.mops }
-      | _ -> None)
-    current
+  let tbl = Hashtbl.create (max 16 (2 * List.length baseline)) in
+  let dups = ref [] in
+  List.iter
+    (fun b ->
+      let k = key b in
+      if Hashtbl.mem tbl k then dups := key_name b :: !dups
+      else Hashtbl.add tbl k b)
+    baseline;
+  let deltas =
+    List.filter_map
+      (fun c ->
+        match Hashtbl.find_opt tbl (key c) with
+        | Some b when Float.is_finite b.mops && b.mops > 0. ->
+          Some { cur = c; base_mops = b.mops; ratio = c.mops /. b.mops }
+        | _ -> None)
+      current
+  in
+  (deltas, List.rev !dups)
 
 (* Flag threshold: a quarter off the baseline.  Of the same order as the
    rsd flag in {!Bench_native} — tighter than the noise floor would just
    cry wolf. *)
 let default_threshold = 0.25
 
-let report ?(threshold = default_threshold) ~baseline ~current () =
-  let buf = Buffer.create 1024 in
-  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+type analysis = {
+  warnings : string list;  (* schema surprises + duplicate baseline keys *)
+  baseline_rows : int;
+  current_rows : int;
+  deltas : delta list;
+  regressions : delta list;
+  improvements : delta list;
+  threshold : float;
+}
+
+let analyze ?(threshold = default_threshold) ~baseline ~current () =
+  let warnings = ref [] in
+  let warn s = warnings := s :: !warnings in
   (match schema_of_doc baseline with
-   | Some ("bench-native/v2" | "bench-native/v3") -> ()
-   | Some s -> pf "baseline: unrecognized schema %S; matching rows anyway\n" s
-   | None -> pf "baseline: no schema field; matching rows anyway\n");
+   | Some ("bench-native/v2" | "bench-native/v3" | "bench-native/v4") -> ()
+   | Some s ->
+     warn (Printf.sprintf "unrecognized schema %S; matching rows anyway" s)
+   | None -> warn "no schema field; matching rows anyway");
   let base = entries_of_doc baseline in
   let cur = entries_of_doc current in
-  let deltas = diff ~baseline:base ~current:cur in
-  let regressions =
-    List.filter (fun d -> d.ratio < 1. -. threshold) deltas
-  in
-  let improvements =
-    List.filter (fun d -> d.ratio > 1. +. threshold) deltas
-  in
+  let deltas, dups = diff ~baseline:base ~current:cur in
+  List.iter
+    (fun k ->
+      warn
+        (Printf.sprintf "duplicate baseline key %s; first occurrence wins" k))
+    dups;
+  { warnings = List.rev !warnings;
+    baseline_rows = List.length base;
+    current_rows = List.length cur;
+    deltas;
+    regressions = List.filter (fun d -> d.ratio < 1. -. threshold) deltas;
+    improvements = List.filter (fun d -> d.ratio > 1. +. threshold) deltas;
+    threshold }
+
+let render a =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter (fun w -> pf "baseline: %s\n" w) a.warnings;
   pf "baseline: %d/%d rows matched against %d baseline rows\n"
-    (List.length deltas) (List.length cur) (List.length base);
+    (List.length a.deltas) a.current_rows a.baseline_rows;
   let line tag d =
-    pf "  %s %s/%s %s d=%d r=%d%%: %.2f -> %.2f Mops/s (%+.1f%%)\n" tag
-      d.cur.structure d.cur.impl d.cur.backend d.cur.domains d.cur.read_pct
+    pf "  %s %s: %.2f -> %.2f Mops/s (%+.1f%%)\n" tag (key_name d.cur)
       d.base_mops d.cur.mops
       (100. *. (d.ratio -. 1.))
   in
-  List.iter (line "REGRESSION") regressions;
-  List.iter (line "improved  ") improvements;
-  if regressions = [] then
+  List.iter (line "REGRESSION") a.regressions;
+  List.iter (line "improved  ") a.improvements;
+  if a.regressions = [] then
     pf "baseline: no regressions beyond %.0f%% (warn-only check)\n"
-      (100. *. threshold)
+      (100. *. a.threshold)
   else
     pf
       "baseline: %d row(s) regressed beyond %.0f%% — check rsd before \
        believing them (warn-only check)\n"
-      (List.length regressions) (100. *. threshold);
+      (List.length a.regressions) (100. *. a.threshold);
   Buffer.contents buf
 
-let regression_count ?(threshold = default_threshold) ~baseline ~current () =
-  let deltas =
-    diff ~baseline:(entries_of_doc baseline) ~current:(entries_of_doc current)
-  in
-  List.length (List.filter (fun d -> d.ratio < 1. -. threshold) deltas)
+let report ?threshold ~baseline ~current () =
+  render (analyze ?threshold ~baseline ~current ())
+
+let regression_count (a : analysis) = List.length a.regressions

@@ -1,9 +1,15 @@
 (** Warn-only baseline diffing for bench-native trajectories: match a
     fresh sweep's JSON against a committed BENCH_NATIVE.json row-by-row
     on (structure, impl, backend, domains, read_pct) and report
-    throughput ratios.  Accepts schema v2 or v3 baselines; unmatched
-    rows (e.g. combining rows absent from a v2 baseline) are counted,
-    never errors. *)
+    throughput ratios.  Accepts schema v2, v3 or v4 baselines; unmatched
+    rows (e.g. adaptive rows absent from a v3 baseline) are counted,
+    never errors.
+
+    Matching goes through a [Hashtbl] built in one pass over the
+    baseline — duplicated baseline keys are warned about (the first
+    occurrence wins) instead of matched silently — and {!report} /
+    {!regression_count} are both views over a single {!analyze} result,
+    so the documents are parsed and diffed exactly once. *)
 
 type entry = {
   structure : string;
@@ -24,20 +30,42 @@ val entries_of_doc : Json_out.t -> entry list
 (** The well-formed members of a trajectory's ["rows"]; rows missing a
     key field are skipped. *)
 
-val diff : baseline:entry list -> current:entry list -> delta list
+val diff :
+  baseline:entry list -> current:entry list -> delta list * string list
 (** Current entries that match a baseline entry with finite positive
-    [mops]. *)
+    [mops], plus one rendered key per duplicated baseline key (the
+    first occurrence of a duplicated key is the one matched). *)
 
 val default_threshold : float
 (** 0.25 — the same order as the rsd flag; tighter would cry wolf. *)
 
+type analysis = {
+  warnings : string list;
+      (** schema surprises and duplicate baseline keys *)
+  baseline_rows : int;
+  current_rows : int;
+  deltas : delta list;  (** the matched rows *)
+  regressions : delta list;  (** matched rows below [1 - threshold] *)
+  improvements : delta list;  (** matched rows above [1 + threshold] *)
+  threshold : float;
+}
+
+val analyze :
+  ?threshold:float -> baseline:Json_out.t -> current:Json_out.t -> unit ->
+  analysis
+(** Parse and diff both documents once; every other entry point is a
+    view over this result. *)
+
+val render : analysis -> string
+(** Human-readable diff: warnings, matched-row count, per-row
+    REGRESSION / improved lines beyond the threshold, and a warn-only
+    summary line. *)
+
 val report :
   ?threshold:float -> baseline:Json_out.t -> current:Json_out.t -> unit ->
   string
-(** Human-readable diff: matched-row count, per-row REGRESSION /
-    improved lines beyond [threshold], and a warn-only summary line. *)
+(** [render (analyze ...)] — the one-shot convenience the CLI uses. *)
 
-val regression_count :
-  ?threshold:float -> baseline:Json_out.t -> current:Json_out.t -> unit -> int
-(** Number of matched rows below [1 - threshold] of their baseline, for
-    callers that want to branch (the CLI and CI never fail on it). *)
+val regression_count : analysis -> int
+(** Number of regressed rows in an existing analysis, for callers that
+    want to branch (the CLI and CI never fail on it). *)

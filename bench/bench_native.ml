@@ -1,10 +1,11 @@
 (* The domain-scaling benchmark behind bin/bench.exe: every int-specialized
    implementation, boxed (Simval Atomic) vs unboxed (padded int Atomic) vs
-   flat-combining backend, swept over domain counts and read shares, with
-   shared warmup and interleaved trials.  This is where the constant-factor
-   story of the paper's O(1)-read structures is measured honestly: same
-   algorithms, same step counts, only the base-object representation (and,
-   for the combining backend, the update submission protocol) changes.
+   flat-combining vs contention-adaptive backend, swept over domain counts
+   and read shares, with shared warmup and interleaved trials.  This is
+   where the constant-factor story of the paper's O(1)-read structures is
+   measured honestly: same algorithms, same step counts, only the
+   base-object representation (and, for the combining/adaptive backends,
+   the update submission protocol) changes.
 
    Each cell runs three kinds of pass:
 
@@ -28,7 +29,7 @@
      observability layer can never bias the throughput rows.
 
    Results are emitted both as a table (stdout) and as machine-readable
-   JSON (BENCH_NATIVE.json, schema "bench-native/v3") so future changes
+   JSON (BENCH_NATIVE.json, schema "bench-native/v4") so future changes
    have a perf trajectory to regress against (see {!Baseline}). *)
 
 type config = {
@@ -54,13 +55,17 @@ let config ?(quick = false) ?(max_domains = 4) ?seconds ?trials
 type row = {
   structure : string;
   impl : string;
-  backend : string;  (* "boxed" | "unboxed" | "combining" *)
+  backend : string;  (* "boxed" | "unboxed" | "combining" | "adaptive" *)
   domains : int;
   read_pct : int;
   mops : float;        (* median over trials *)
   trial_mops : float list;
   rsd : float;         (* relative stddev of the trials: stddev/mean *)
   oversubscribed : bool;  (* domains > recommended_domains of this host *)
+  (* adaptive dispatch (adaptive rows only; cumulative over the cell's
+     warmup + trials + latency passes, which share one instance) *)
+  epoch_flips : int option;
+  time_in_combining_pct : float option;
   (* metered pass *)
   lat_p50 : float;     (* ns per op *)
   lat_p95 : float;
@@ -110,23 +115,61 @@ let read_pattern ~read_pct =
   Array.init pattern_slots (fun i ->
       ((i + 1) * reads / pattern_slots) - (i * reads / pattern_slots) = 1)
 
+(* A batch covers exactly half the pattern ([i0] advances by [batch],
+   [i0 land batch] picks slots 0..63 or 64..127), so its read count is
+   one of two constants — from which the adaptive closures derive a
+   whole flush window's read/update split as one constant, settling
+   dispatch accounting in one {!Harness.Adaptive} [tick_many] call per
+   window instead of paying bookkeeping per op. *)
+let half_reads pattern =
+  let count lo =
+    let acc = ref 0 in
+    for j = lo to lo + batch - 1 do
+      if Array.unsafe_get pattern j then incr acc
+    done;
+    !acc
+  in
+  (count 0, count batch)
+
+(* The adaptive closures pay neither [tick_many] (two seq_cst stores)
+   nor the [combining_now] cross-module call per batch — both still
+   show at sub-3ns/op.  Consecutive batches strictly alternate pattern
+   halves (the drivers advance [i0] by [batch] from 0), so a
+   [flush_batches] window's read/update split is a per-cell constant;
+   each domain only counts batches in a plain accumulator slot and,
+   every [flush_batches] batches, settles accounting with one
+   [tick_many] and refreshes its cached mode.  Slots are one 64-byte
+   line per domain (single-writer, so plain stores are race-free):
+   [d * acc_stride] = batches since flush, [+1] = cached mode (1 =
+   combining), [+2] = stale tally (algorithm-a).  The cached mode can
+   lag a flip by up to [flush_batches * batch] ops — one epoch's worth,
+   the dispatcher's own granularity — and either update path is
+   linearizable in either mode (both mutate the same structure). *)
+let acc_stride = 8
+let flush_batches = 16
+
 type kind =
   | Maxreg of Harness.Instances.maxreg_impl
   | Counter of Harness.Instances.counter_impl
 
-type backend = [ `Boxed | `Unboxed | `Combining ]
+type backend = [ `Boxed | `Unboxed | `Combining | `Adaptive ]
 
+(* [mk] returns the fused closure plus, for a live adaptive instance,
+   the report thunk ({!Harness.Adaptive.report}: current mode, epoch
+   count, flips, combining-ops share) — [None] everywhere else,
+   including the adaptive backend's create-time solo dispatch at
+   [domains = 1], where the dispatcher is compiled away entirely. *)
 type target = {
   structure : string;
   impl_name : string;
   kind : kind;
-  has_combining : bool;
+  has_combining : bool;  (* adaptive exists exactly where combining does *)
   mk :
     backend:backend ->
     n:int ->
     domains:int ->
     pattern:bool array ->
-    (int -> int -> unit);
+    (int -> int -> unit) * (unit -> Harness.Adaptive.report) option;
 }
 
 module AB = Maxreg.Algorithm_a.Make (Smem.Atomic_memory)
@@ -143,6 +186,10 @@ module AC = Harness.Combining.Alg_a
 module CC = Harness.Combining.Cas
 module FC = Harness.Combining.Farray_c
 module NC = Harness.Combining.Naive_c
+module AD = Harness.Adaptive.Alg_a
+module CD = Harness.Adaptive.Cas
+module FD = Harness.Adaptive.Farray_c
+module ND = Harness.Adaptive.Naive_c
 
 (* Max registers write strictly increasing, domain-disjoint values
    [i * domains + d]: every write really updates (monotone streams), and
@@ -157,50 +204,97 @@ let alg_a_target =
     has_combining = true;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
+        (* One closure builder shared by the unboxed backend and the
+           d=1 combining/adaptive cells (create-time solo dispatch, see
+           Harness.Combining and Harness.Adaptive: one participating
+           domain can never contend, so those backends at domains = 1
+           *are* the plain unboxed structure).  Sharing the builder
+           means those rows run the SAME compiled loop and differ only
+           in data — a separate textual copy of an identical loop can
+           land on different code alignment and skew sub-3ns cells by
+           ~10%. *)
+        let unboxed_cell () =
+          let reg = AU.create ~n () in
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                let i = i0 + k in
+                if Array.unsafe_get pattern (i land mask) then
+                  ignore (AU.read_max reg : int)
+                else AU.write_max reg ~pid:d ((i * domains) + d)
+              done),
+            None )
+        in
         match backend with
         | `Boxed ->
           let reg = AB.create ~n () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              let i = i0 + k in
-              if Array.unsafe_get pattern (i land mask) then
-                ignore (AB.read_max reg : int)
-              else AB.write_max reg ~pid:d ((i * domains) + d)
-            done
-        | `Unboxed ->
-          let reg = AU.create ~n () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              let i = i0 + k in
-              if Array.unsafe_get pattern (i land mask) then
-                ignore (AU.read_max reg : int)
-              else AU.write_max reg ~pid:d ((i * domains) + d)
-            done
-        | `Combining when domains = 1 ->
-          (* create-time solo dispatch (see Harness.Combining): one
-             participating domain can never contend, so the combining
-             backend at domains = 1 *is* the plain unboxed structure,
-             resolved once here rather than branched per op — the
-             per-op wrapper alone costs a call frame, visible at these
-             per-op costs.  The d=1 combining rows therefore measure
-             what a combining deployment actually runs solo. *)
-          let reg = AU.create ~n () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              let i = i0 + k in
-              if Array.unsafe_get pattern (i land mask) then
-                ignore (AU.read_max reg : int)
-              else AU.write_max reg ~pid:d ((i * domains) + d)
-            done
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                let i = i0 + k in
+                if Array.unsafe_get pattern (i land mask) then
+                  ignore (AB.read_max reg : int)
+                else AB.write_max reg ~pid:d ((i * domains) + d)
+              done),
+            None )
+        | `Unboxed -> unboxed_cell ()
+        | (`Combining | `Adaptive) when domains = 1 -> unboxed_cell ()
         | `Combining ->
           let reg = AC.create ~n ~domains () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              let i = i0 + k in
-              if Array.unsafe_get pattern (i land mask) then
-                ignore (AC.read_max reg : int)
-              else AC.write_max reg ~pid:d ((i * domains) + d)
-            done) }
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                let i = i0 + k in
+                if Array.unsafe_get pattern (i land mask) then
+                  ignore (AC.read_max reg : int)
+                else AC.write_max reg ~pid:d ((i * domains) + d)
+              done),
+            None )
+        | `Adaptive ->
+          (* batch-granular dispatch: cached mode per batch, raw path
+             in the inner loop, accounting settled per flush window
+             (see [flush_batches] above).  The plain loop tallies stale
+             writes (value already <= max: one root load) — the signal
+             that flips this structure to combining where elimination
+             wins. *)
+          let reg = AD.create ~n ~domains () in
+          let raw = AD.unboxed reg in
+          let r0, r1 = half_reads pattern in
+          let f_reads = flush_batches / 2 * (r0 + r1) in
+          let f_updates = (flush_batches * batch) - f_reads in
+          let acc = Array.make (domains * acc_stride) 0 in
+          ( (fun d i0 ->
+              let a = d * acc_stride in
+              if Array.unsafe_get acc (a + 1) = 1 then
+                for k = 0 to batch - 1 do
+                  let i = i0 + k in
+                  if Array.unsafe_get pattern (i land mask) then
+                    ignore (AU.read_max raw : int)
+                  else AD.write_combining reg ~pid:d ((i * domains) + d)
+                done
+              else begin
+                let stale = ref 0 in
+                for k = 0 to batch - 1 do
+                  let i = i0 + k in
+                  if Array.unsafe_get pattern (i land mask) then
+                    ignore (AU.read_max raw : int)
+                  else begin
+                    let v = (i * domains) + d in
+                    if v <= AU.read_max raw then incr stale;
+                    AU.write_max raw ~pid:d v
+                  end
+                done;
+                Array.unsafe_set acc (a + 2)
+                  (Array.unsafe_get acc (a + 2) + !stale)
+              end;
+              let b = Array.unsafe_get acc a + 1 in
+              if b = flush_batches then begin
+                AD.tick_many reg ~pid:d ~reads:f_reads ~updates:f_updates
+                  ~stale:(Array.unsafe_get acc (a + 2));
+                Array.unsafe_set acc a 0;
+                Array.unsafe_set acc (a + 2) 0;
+                Array.unsafe_set acc (a + 1)
+                  (if AD.combining_now reg then 1 else 0)
+              end
+              else Array.unsafe_set acc a b),
+            Some (fun () -> AD.report reg) )) }
 
 let b1_target =
   { structure = "max-register";
@@ -213,23 +307,26 @@ let b1_target =
         | `Boxed ->
           ignore n;
           let reg = BB.create () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              let i = i0 + k in
-              if Array.unsafe_get pattern (i land mask) then
-                ignore (BB.read_max reg : int)
-              else BB.write_max reg ~pid:d ((i * domains) + d)
-            done
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                let i = i0 + k in
+                if Array.unsafe_get pattern (i land mask) then
+                  ignore (BB.read_max reg : int)
+                else BB.write_max reg ~pid:d ((i * domains) + d)
+              done),
+            None )
         | `Unboxed ->
           let reg = BU.create () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              let i = i0 + k in
-              if Array.unsafe_get pattern (i land mask) then
-                ignore (BU.read_max reg : int)
-              else BU.write_max reg ~pid:d ((i * domains) + d)
-            done
-        | `Combining -> invalid_arg "b1-maxreg has no combining backend") }
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                let i = i0 + k in
+                if Array.unsafe_get pattern (i land mask) then
+                  ignore (BU.read_max reg : int)
+                else BU.write_max reg ~pid:d ((i * domains) + d)
+              done),
+            None )
+        | `Combining | `Adaptive ->
+          invalid_arg "b1-maxreg has no combining/adaptive backend") }
 
 let cas_target =
   { structure = "max-register";
@@ -238,47 +335,78 @@ let cas_target =
     has_combining = true;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
+        ignore n;
+        (* shared for the same code-placement reason as algorithm-a *)
+        let unboxed_cell () =
+          let reg = CU.create () in
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                let i = i0 + k in
+                if Array.unsafe_get pattern (i land mask) then
+                  ignore (CU.read_max reg : int)
+                else CU.write_max reg ~pid:d ((i * domains) + d)
+              done),
+            None )
+        in
         match backend with
         | `Boxed ->
-          ignore n;
           let reg = CB.create () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              let i = i0 + k in
-              if Array.unsafe_get pattern (i land mask) then
-                ignore (CB.read_max reg : int)
-              else CB.write_max reg ~pid:d ((i * domains) + d)
-            done
-        | `Unboxed ->
-          let reg = CU.create () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              let i = i0 + k in
-              if Array.unsafe_get pattern (i land mask) then
-                ignore (CU.read_max reg : int)
-              else CU.write_max reg ~pid:d ((i * domains) + d)
-            done
-        | `Combining when domains = 1 ->
-          (* create-time solo dispatch, as for algorithm-a above *)
-          ignore n;
-          let reg = CU.create () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              let i = i0 + k in
-              if Array.unsafe_get pattern (i land mask) then
-                ignore (CU.read_max reg : int)
-              else CU.write_max reg ~pid:d ((i * domains) + d)
-            done
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                let i = i0 + k in
+                if Array.unsafe_get pattern (i land mask) then
+                  ignore (CB.read_max reg : int)
+                else CB.write_max reg ~pid:d ((i * domains) + d)
+              done),
+            None )
+        | `Unboxed -> unboxed_cell ()
+        | (`Combining | `Adaptive) when domains = 1 -> unboxed_cell ()
         | `Combining ->
-          ignore n;
           let reg = CC.create ~domains () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              let i = i0 + k in
-              if Array.unsafe_get pattern (i land mask) then
-                ignore (CC.read_max reg : int)
-              else CC.write_max reg ~pid:d ((i * domains) + d)
-            done) }
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                let i = i0 + k in
+                if Array.unsafe_get pattern (i land mask) then
+                  ignore (CC.read_max reg : int)
+                else CC.write_max reg ~pid:d ((i * domains) + d)
+              done),
+            None )
+        | `Adaptive ->
+          (* batch-granular dispatch, as for algorithm-a; no stale
+             tally (default_cas disables that trigger — a stale plain
+             cas write is already one cheap load) *)
+          let reg = CD.create ~domains () in
+          let raw = CD.unboxed reg in
+          let r0, r1 = half_reads pattern in
+          let f_reads = flush_batches / 2 * (r0 + r1) in
+          let f_updates = (flush_batches * batch) - f_reads in
+          let acc = Array.make (domains * acc_stride) 0 in
+          ( (fun d i0 ->
+              let a = d * acc_stride in
+              if Array.unsafe_get acc (a + 1) = 1 then
+                for k = 0 to batch - 1 do
+                  let i = i0 + k in
+                  if Array.unsafe_get pattern (i land mask) then
+                    ignore (CU.read_max raw : int)
+                  else CD.write_combining reg ~pid:d ((i * domains) + d)
+                done
+              else
+                for k = 0 to batch - 1 do
+                  let i = i0 + k in
+                  if Array.unsafe_get pattern (i land mask) then
+                    ignore (CU.read_max raw : int)
+                  else CU.write_max raw ~pid:d ((i * domains) + d)
+                done;
+              let b = Array.unsafe_get acc a + 1 in
+              if b = flush_batches then begin
+                CD.tick_many reg ~pid:d ~reads:f_reads ~updates:f_updates
+                  ~stale:0;
+                Array.unsafe_set acc a 0;
+                Array.unsafe_set acc (a + 1)
+                  (if CD.combining_now reg then 1 else 0)
+              end
+              else Array.unsafe_set acc a b),
+            Some (fun () -> CD.report reg) )) }
 
 let farray_target =
   { structure = "counter";
@@ -288,42 +416,70 @@ let farray_target =
     has_combining = true;
     mk =
       (fun ~backend ~n ~domains ~pattern ->
+        (* shared for the same code-placement reason as algorithm-a *)
+        let unboxed_cell () =
+          let c = FU.create ~n () in
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                if Array.unsafe_get pattern ((i0 + k) land mask) then
+                  ignore (FU.read c : int)
+                else FU.increment c ~pid:d
+              done),
+            None )
+        in
         match backend with
         | `Boxed ->
-          ignore domains;
           let c = FB.create ~n in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              if Array.unsafe_get pattern ((i0 + k) land mask) then
-                ignore (FB.read c : int)
-              else FB.increment c ~pid:d
-            done
-        | `Unboxed ->
-          ignore domains;
-          let c = FU.create ~n () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              if Array.unsafe_get pattern ((i0 + k) land mask) then
-                ignore (FU.read c : int)
-              else FU.increment c ~pid:d
-            done
-        | `Combining when domains = 1 ->
-          (* create-time solo dispatch, as for algorithm-a above *)
-          let c = FU.create ~n () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              if Array.unsafe_get pattern ((i0 + k) land mask) then
-                ignore (FU.read c : int)
-              else FU.increment c ~pid:d
-            done
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                if Array.unsafe_get pattern ((i0 + k) land mask) then
+                  ignore (FB.read c : int)
+                else FB.increment c ~pid:d
+              done),
+            None )
+        | `Unboxed -> unboxed_cell ()
+        | (`Combining | `Adaptive) when domains = 1 -> unboxed_cell ()
         | `Combining ->
           let c = FC.create ~n ~domains () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              if Array.unsafe_get pattern ((i0 + k) land mask) then
-                ignore (FC.read c : int)
-              else FC.increment c ~pid:d
-            done) }
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                if Array.unsafe_get pattern ((i0 + k) land mask) then
+                  ignore (FC.read c : int)
+                else FC.increment c ~pid:d
+              done),
+            None )
+        | `Adaptive ->
+          (* batch-granular dispatch, as for algorithm-a; counter
+             increments are never stale *)
+          let c = FD.create ~n ~domains () in
+          let raw = FD.unboxed c in
+          let r0, r1 = half_reads pattern in
+          let f_reads = flush_batches / 2 * (r0 + r1) in
+          let f_updates = (flush_batches * batch) - f_reads in
+          let acc = Array.make (domains * acc_stride) 0 in
+          ( (fun d i0 ->
+              let a = d * acc_stride in
+              if Array.unsafe_get acc (a + 1) = 1 then
+                for k = 0 to batch - 1 do
+                  if Array.unsafe_get pattern ((i0 + k) land mask) then
+                    ignore (FU.read raw : int)
+                  else FD.increment_combining c ~pid:d
+                done
+              else
+                for k = 0 to batch - 1 do
+                  if Array.unsafe_get pattern ((i0 + k) land mask) then
+                    ignore (FU.read raw : int)
+                  else FU.increment raw ~pid:d
+                done;
+              let b = Array.unsafe_get acc a + 1 in
+              if b = flush_batches then begin
+                FD.tick_many c ~pid:d ~reads:f_reads ~updates:f_updates;
+                Array.unsafe_set acc a 0;
+                Array.unsafe_set acc (a + 1)
+                  (if FD.combining_now c then 1 else 0)
+              end
+              else Array.unsafe_set acc a b),
+            Some (fun () -> FD.report c) )) }
 
 let naive_target =
   { structure = "counter";
@@ -332,48 +488,75 @@ let naive_target =
     has_combining = true;  (* the measured control: protocol cost, no win *)
     mk =
       (fun ~backend ~n ~domains ~pattern ->
+        (* shared for the same code-placement reason as algorithm-a *)
+        let unboxed_cell () =
+          let c = NU.create ~n () in
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                if Array.unsafe_get pattern ((i0 + k) land mask) then
+                  ignore (NU.read c : int)
+                else NU.increment c ~pid:d
+              done),
+            None )
+        in
         match backend with
         | `Boxed ->
-          ignore domains;
           let c = NB.create ~n in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              if Array.unsafe_get pattern ((i0 + k) land mask) then
-                ignore (NB.read c : int)
-              else NB.increment c ~pid:d
-            done
-        | `Unboxed ->
-          ignore domains;
-          let c = NU.create ~n () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              if Array.unsafe_get pattern ((i0 + k) land mask) then
-                ignore (NU.read c : int)
-              else NU.increment c ~pid:d
-            done
-        | `Combining when domains = 1 ->
-          (* create-time solo dispatch, as for algorithm-a above *)
-          let c = NU.create ~n () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              if Array.unsafe_get pattern ((i0 + k) land mask) then
-                ignore (NU.read c : int)
-              else NU.increment c ~pid:d
-            done
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                if Array.unsafe_get pattern ((i0 + k) land mask) then
+                  ignore (NB.read c : int)
+                else NB.increment c ~pid:d
+              done),
+            None )
+        | `Unboxed -> unboxed_cell ()
+        | (`Combining | `Adaptive) when domains = 1 -> unboxed_cell ()
         | `Combining ->
           let c = NC.create ~n ~domains () in
-          fun d i0 ->
-            for k = 0 to batch - 1 do
-              if Array.unsafe_get pattern ((i0 + k) land mask) then
-                ignore (NC.read c : int)
-              else NC.increment c ~pid:d
-            done) }
+          ( (fun d i0 ->
+              for k = 0 to batch - 1 do
+                if Array.unsafe_get pattern ((i0 + k) land mask) then
+                  ignore (NC.read c : int)
+                else NC.increment c ~pid:d
+              done),
+            None )
+        | `Adaptive ->
+          (* batch-granular dispatch, as for algorithm-a *)
+          let c = ND.create ~n ~domains () in
+          let raw = ND.unboxed c in
+          let r0, r1 = half_reads pattern in
+          let f_reads = flush_batches / 2 * (r0 + r1) in
+          let f_updates = (flush_batches * batch) - f_reads in
+          let acc = Array.make (domains * acc_stride) 0 in
+          ( (fun d i0 ->
+              let a = d * acc_stride in
+              if Array.unsafe_get acc (a + 1) = 1 then
+                for k = 0 to batch - 1 do
+                  if Array.unsafe_get pattern ((i0 + k) land mask) then
+                    ignore (NU.read raw : int)
+                  else ND.increment_combining c ~pid:d
+                done
+              else
+                for k = 0 to batch - 1 do
+                  if Array.unsafe_get pattern ((i0 + k) land mask) then
+                    ignore (NU.read raw : int)
+                  else NU.increment raw ~pid:d
+                done;
+              let b = Array.unsafe_get acc a + 1 in
+              if b = flush_batches then begin
+                ND.tick_many c ~pid:d ~reads:f_reads ~updates:f_updates;
+                Array.unsafe_set acc a 0;
+                Array.unsafe_set acc (a + 1)
+                  (if ND.combining_now c then 1 else 0)
+              end
+              else Array.unsafe_set acc a b),
+            Some (fun () -> ND.report c) )) }
 
 let targets =
   [ alg_a_target; b1_target; cas_target; farray_target; naive_target ]
 
 let backends_of (t : target) : backend list =
-  if t.has_combining then [ `Boxed; `Unboxed; `Combining ]
+  if t.has_combining then [ `Boxed; `Unboxed; `Combining; `Adaptive ]
   else [ `Boxed; `Unboxed ]
 
 (* The metered closure: the same workload through the instrumented
@@ -449,6 +632,47 @@ let metered_combining_op ~metrics ~kind ~n ~domains ~pattern =
     in
     (op, arena)
 
+(* Same, over the adaptive registry: [Op_read] recorded here feeds both
+   the emitted metrics and the dispatcher's read-share signal (the
+   metered adaptive instance shares this handle).  Returns the arena for
+   the combine-stats flush. *)
+let metered_adaptive_op ~metrics ~kind ~n ~domains ~pattern =
+  let bound = 1 lsl 20 in
+  match kind with
+  | Maxreg impl ->
+    let inst, arena, _report =
+      Option.get
+        (Harness.Instances.maxreg_native_adaptive_metered ~metrics ~n ~domains
+           ~bound impl)
+    in
+    let op d i0 =
+      for k = 0 to batch - 1 do
+        let i = i0 + k in
+        if Array.unsafe_get pattern (i land mask) then begin
+          Obs.Metrics.incr metrics ~domain:d Obs.Metrics.Op_read;
+          ignore (inst.Maxreg.Max_register.read_max () : int)
+        end
+        else inst.Maxreg.Max_register.write_max ~pid:d ((i * domains) + d)
+      done
+    in
+    (op, arena)
+  | Counter impl ->
+    let inst, arena, _report =
+      Option.get
+        (Harness.Instances.counter_native_adaptive_metered ~metrics ~n ~domains
+           ~bound impl)
+    in
+    let op d i0 =
+      for k = 0 to batch - 1 do
+        if Array.unsafe_get pattern ((i0 + k) land mask) then begin
+          Obs.Metrics.incr metrics ~domain:d Obs.Metrics.Op_read;
+          ignore (inst.Counters.Counter.read () : int)
+        end
+        else inst.Counters.Counter.increment ~pid:d
+      done
+    in
+    (op, arena)
+
 (* Trials can in principle produce NaN (a degenerate measurement window);
    drop non-finite samples before sorting — NaN has no consistent order
    under [compare], so it can scramble the sort — and average the two
@@ -479,6 +703,7 @@ let backend_name : backend -> string = function
   | `Boxed -> "boxed"
   | `Unboxed -> "unboxed"
   | `Combining -> "combining"
+  | `Adaptive -> "adaptive"
 
 (* Structures are sized once for the sweep's largest domain count (the
    usual benchmark convention: a structure built for P processes, of which
@@ -502,6 +727,8 @@ type cell = {
   c_read_pct : int;
   c_pattern : bool array;
   c_op : int -> int -> unit;
+  c_report : (unit -> Harness.Adaptive.report) option;
+      (* the timed adaptive instance's dispatch report; None elsewhere *)
   mutable c_trials : float list;  (* reverse trial order *)
 }
 
@@ -516,12 +743,14 @@ let make_cells cfg =
               List.map
                 (fun read_pct ->
                   let pattern = read_pattern ~read_pct in
+                  let op, report = target.mk ~backend ~n ~domains ~pattern in
                   { c_target = target;
                     c_backend = backend;
                     c_domains = domains;
                     c_read_pct = read_pct;
                     c_pattern = pattern;
-                    c_op = target.mk ~backend ~n ~domains ~pattern;
+                    c_op = op;
+                    c_report = report;
                     c_trials = [] })
                 cfg.read_shares)
             cfg.domain_counts)
@@ -567,11 +796,38 @@ let finish_cell ~cfg ~recommended (c : cell) =
       Obs.Metrics.record_combine_stats metrics ~domain:0
         (Smem.Combine.stats arena);
       Some (Obs.Metrics.totals metrics)
+    | `Adaptive ->
+      let metrics = Obs.Metrics.create ~domains:c.c_domains () in
+      let op_m, arena =
+        metered_adaptive_op ~metrics ~kind:c.c_target.kind ~n
+          ~domains:c.c_domains ~pattern:c.c_pattern
+      in
+      ignore
+        (Harness.Throughput.run_batched ~domains:c.c_domains
+           ~seconds:cfg.seconds ~batch ~op:op_m ()
+          : float);
+      Obs.Metrics.record_combine_stats metrics ~domain:0
+        (Smem.Combine.stats arena);
+      Some (Obs.Metrics.totals metrics)
   in
   let h =
     Array.fold_left
       (fun acc h -> Obs.Histogram.merge acc h)
       (Obs.Histogram.create ()) hists
+  in
+  (* Dispatch report of the TIMED adaptive instance (cumulative over
+     warmup + trials + the latency pass, which share it).  A solo
+     adaptive cell (domains = 1, create-time dispatch to the plain
+     structure) reports zero flips and an all-plain ops share — true by
+     construction. *)
+  let epoch_flips, time_in_combining_pct =
+    match c.c_report with
+    | Some r ->
+      let rep = r () in
+      ( Some rep.Harness.Adaptive.epoch_flips,
+        Some rep.Harness.Adaptive.combining_ops_pct )
+    | None ->
+      if c.c_backend = `Adaptive then (Some 0, Some 0.) else (None, None)
   in
   let trial_mops = List.rev c.c_trials in
   { structure = c.c_target.structure;
@@ -583,6 +839,8 @@ let finish_cell ~cfg ~recommended (c : cell) =
     trial_mops;
     rsd = rsd trial_mops;
     oversubscribed = c.c_domains > recommended;
+    epoch_flips;
+    time_in_combining_pct;
     lat_p50 = Obs.Histogram.percentile h 50.;
     lat_p95 = Obs.Histogram.percentile h 95.;
     lat_p99 = Obs.Histogram.percentile h 99.;
@@ -644,13 +902,14 @@ let table rows =
   Harness.Tables.render
     ~title:
       "Native domain-scaling throughput: boxed (Simval Atomic) vs unboxed \
-       (padded int Atomic) vs flat-combining backends (Mops/s, median of \
-       interleaved trials; rsd = stddev/mean, '!' over 0.25; '*' marks \
-       oversubscribed domain counts; latency percentiles and CAS failure \
-       rate from the metered pass)"
+       (padded int Atomic) vs flat-combining vs adaptive backends (Mops/s, \
+       median of interleaved trials; rsd = stddev/mean, '!' over 0.25; '*' \
+       marks oversubscribed domain counts; latency percentiles and CAS \
+       failure rate from the metered pass; flips/comb% = adaptive epoch \
+       flips and combining-mode ops share of the timed instance)"
     ~header:
       [ "structure"; "impl"; "backend"; "domains"; "read%"; "Mops/s"; "rsd";
-        "p50ns"; "p99ns"; "cas-fail%" ]
+        "p50ns"; "p99ns"; "cas-fail%"; "flips"; "comb%" ]
     (List.map
        (fun (r : row) ->
          [ r.structure; r.impl; r.backend;
@@ -663,10 +922,16 @@ let table rows =
            (match r.metrics with
             | None -> "-"
             | Some m ->
-              Printf.sprintf "%.1f" (100. *. Obs.Metrics.cas_failure_rate m)) ])
+              Printf.sprintf "%.1f" (100. *. Obs.Metrics.cas_failure_rate m));
+           (match r.epoch_flips with
+            | None -> "-"
+            | Some f -> string_of_int f);
+           (match r.time_in_combining_pct with
+            | None -> "-"
+            | Some p -> Printf.sprintf "%.0f" p) ])
        rows)
 
-let schema_version = "bench-native/v3"
+let schema_version = "bench-native/v4"
 
 let metrics_json (m : Obs.Metrics.totals) =
   Obs.Json_out.Obj
@@ -723,6 +988,14 @@ let to_json ~cfg rows =
                        (List.map (fun m -> Json_out.Float m) r.trial_mops) );
                    ("rsd", Json_out.Float r.rsd);
                    ("oversubscribed", Json_out.Bool r.oversubscribed);
+                   ( "epoch_flips",
+                     match r.epoch_flips with
+                     | None -> Json_out.Null
+                     | Some f -> Json_out.Int f );
+                   ( "time_in_combining_pct",
+                     match r.time_in_combining_pct with
+                     | None -> Json_out.Null
+                     | Some p -> Json_out.Float p );
                    ( "latency_ns",
                      Json_out.Obj
                        [ ("p50", Json_out.Float r.lat_p50);

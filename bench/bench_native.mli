@@ -1,7 +1,10 @@
 (** The domain-scaling benchmark behind [bin/bench.exe]: max registers
-    and counters over three backends — boxed (Simval Atomic), unboxed
-    (padded int Atomic), and flat-combining ({!Harness.Combining} over a
-    {!Smem.Combine} arena) — swept over domain counts and read shares.
+    and counters over four backends — boxed (Simval Atomic), unboxed
+    (padded int Atomic), flat-combining ({!Harness.Combining} over a
+    {!Smem.Combine} arena), and contention-adaptive
+    ({!Harness.Adaptive}, which flips between the plain and combining
+    update paths at epoch boundaries) — swept over domain counts and
+    read shares.
     All cells are built up front and their throughput trials run in
     interleaved rounds so host drift lands evenly; rows are medians with
     a relative-stddev noise figure.  Latency percentiles and contention
@@ -46,7 +49,8 @@ val table : row list -> string
 (** Rendered throughput/latency table. *)
 
 val to_json : cfg:config -> row list -> Json_out.t
-(** The machine-readable trajectory (schema "bench-native/v3":
-    adds the combining backend, per-row [rsd] and [oversubscribed], and
-    combiner metrics) consumed by EXPERIMENTS.md, the CI smoke job and
-    {!Baseline}. *)
+(** The machine-readable trajectory (schema "bench-native/v4": adds the
+    adaptive backend and its per-row [epoch_flips] /
+    [time_in_combining_pct] fields to v3's combining backend, per-row
+    [rsd]/[oversubscribed] and combiner metrics) consumed by
+    EXPERIMENTS.md, the CI smoke job and {!Baseline}. *)

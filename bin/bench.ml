@@ -5,9 +5,10 @@
            [--read-shares 0,50,90,99]
 
    Prints the throughput table and writes the machine-readable trajectory
-   (schema "bench-native/v3": median throughput with rsd noise figure,
+   (schema "bench-native/v4": median throughput with rsd noise figure,
    latency percentiles from the metered pass, contention metrics for the
-   unboxed backend and combiner metrics for the flat-combining backend)
+   unboxed backend, combiner metrics for the flat-combining backend and
+   epoch-flip/combining-share fields for the adaptive backend)
    used by EXPERIMENTS.md and the CI smoke job.  With [--baseline] the
    fresh rows are diffed against a previously written trajectory —
    warn-only: regressions are reported, never fatal. *)
@@ -59,7 +60,7 @@ let baseline =
        & info [ "baseline" ] ~docv:"FILE"
            ~doc:
              "Diff the fresh rows against a previously written trajectory \
-              (schema v2 or v3); report regressions, warn-only.")
+              (schema v2, v3 or v4); report regressions, warn-only.")
 
 let max_domains =
   Arg.(value & opt int 4
@@ -84,8 +85,8 @@ let cmd =
   Cmd.v
     (Cmd.info "bench" ~version:"1.0"
        ~doc:
-         "Domain-scaling throughput of the boxed, unboxed and \
-          flat-combining native backends (PODC'14 reproduction).")
+         "Domain-scaling throughput of the boxed, unboxed, flat-combining \
+          and contention-adaptive native backends (PODC'14 reproduction).")
     Term.(const run $ quick $ out $ baseline $ max_domains $ seconds $ trials
           $ read_shares)
 

@@ -46,6 +46,8 @@ type t = {
   domains : int;
   combine : int -> int -> int;
   spin : int;  (* cpu_relax rounds between lock attempts before sleeping *)
+  sleep : float -> unit;  (* Unix.sleepf, or a scripted clock in tests *)
+  backoff : float array;  (* park sleep schedule: yield_s doubling to the cap *)
   slots : int Atomic.t array;  (* padded; [empty] = no pending op *)
   lock : int Atomic.t;  (* padded; 0 free, 1 held *)
   (* per-domain single-writer stat cells, all padded *)
@@ -67,14 +69,28 @@ let max_domains = 62
    a line. *)
 let elim_stride = 16
 
-let create ?(spin = 256) ~domains ~combine () =
+(* Park sleeps double from [yield_s] up to [yield_s * 2^backoff_doublings]
+   (default 50µs .. 3.2ms): a waiter parked across many combiner rounds
+   stops hammering the scheduler, while the cap keeps wakeup latency
+   bounded once the combiner finally runs.  Precomputed at create so the
+   parked loop does no float arithmetic (R3 keeps it allocation-free). *)
+let backoff_doublings = 6
+
+let create ?(spin = 256) ?(yield_s = 0.00005) ?(sleep = Unix.sleepf) ~domains
+    ~combine () =
   if domains <= 0 || domains > max_domains then
     invalid_arg "Combine.create: domains out of [1, 62]";
   if spin < 0 then invalid_arg "Combine.create: negative spin";
+  if not (yield_s > 0.) then
+    invalid_arg "Combine.create: non-positive yield_s";
   let cells n = Array.init n (fun _ -> Unboxed_memory.Padded.make 0) in
   { domains;
     combine;
     spin;
+    sleep;
+    backoff =
+      Array.init (backoff_doublings + 1) (fun i ->
+          yield_s *. float_of_int (1 lsl i));
     slots = Array.init domains (fun _ -> Unboxed_memory.Padded.make empty);
     lock = Unboxed_memory.Padded.make 0;
     s_locks = cells domains;
@@ -149,11 +165,16 @@ let apply_batch t ~domain ~apply ~mask ~own =
   end
 
 (* Park on the own (published) slot: an empty read means a combiner
-   applied us.  Between lock attempts, spin [t.spin] rounds then sleep —
-   on a 1-core host the sleep is what lets the combiner run at all. *)
-let yield_s = 0.00005
-
-let rec wait_or_combine t ~domain ~apply spins =
+   applied us.  Between lock attempts, spin [t.spin] rounds once, then
+   sleep with capped exponential backoff — on a 1-core host the sleep is
+   what lets the combiner run at all.  [spins] is NOT reset after a
+   sleep: the spin budget is a one-time grace before the first park, and
+   a long-parked waiter re-burning it between every sleep would spend
+   its whole timeslice in cpu_relax exactly when the host is most
+   oversubscribed.  Each sleep re-checks the slot and the lock first, so
+   backoff never delays a waiter whose op is already applied, nor one
+   that can become the combiner itself. *)
+let rec wait_or_combine t ~domain ~apply spins park =
   if Atomic.get (Array.unsafe_get t.slots domain) = empty then ()
   else if Atomic.get t.lock = 0 && Atomic.compare_and_set t.lock 0 1 then begin
     bump (Array.unsafe_get t.s_locks domain) 1;
@@ -164,12 +185,13 @@ let rec wait_or_combine t ~domain ~apply spins =
     Atomic.set t.lock 0
   end
   else if spins >= t.spin then begin
-    Unix.sleepf yield_s;
-    wait_or_combine t ~domain ~apply 0
+    t.sleep (Array.unsafe_get t.backoff park);
+    wait_or_combine t ~domain ~apply spins
+      (if park + 1 < Array.length t.backoff then park + 1 else park)
   end
   else begin
     Domain.cpu_relax ();
-    wait_or_combine t ~domain ~apply (spins + 1)
+    wait_or_combine t ~domain ~apply (spins + 1) park
   end
 
 let submit t ~domain ~apply op =
@@ -187,7 +209,7 @@ let submit t ~domain ~apply op =
   end
   else begin
     Atomic.set (Array.unsafe_get t.slots domain) op;
-    wait_or_combine t ~domain ~apply 0
+    wait_or_combine t ~domain ~apply 0 0
   end
 
 (* {1 Merge-on-read stats} *)

@@ -41,11 +41,25 @@ type t
 val max_domains : int
 (** 62: slots are tracked in one immediate-int bitmask. *)
 
-val create : ?spin:int -> domains:int -> combine:(int -> int -> int) -> unit -> t
+val create :
+  ?spin:int ->
+  ?yield_s:float ->
+  ?sleep:(float -> unit) ->
+  domains:int ->
+  combine:(int -> int -> int) ->
+  unit ->
+  t
 (** An arena for domain ids [0 .. domains-1] ([1 <= domains <=
-    {!max_domains}]).  [spin] (default 256) is the cpu_relax budget
-    between lock attempts while parked, before falling back to a 50µs
-    sleep. *)
+    {!max_domains}]).  [spin] (default 256) is the one-time cpu_relax
+    budget a parked waiter burns before its first sleep; it is {e not}
+    re-earned between sleeps.  [yield_s] (default 50µs, must be [> 0.])
+    is the first park-sleep duration; successive sleeps double up to
+    [yield_s * 64] (capped exponential backoff), and every sleep is
+    preceded by a fresh slot/lock re-check so backoff never delays an
+    already-applied or lock-winning waiter.  [sleep] (default
+    [Unix.sleepf]) exists for scripted-clock tests.  Raises
+    [Invalid_argument] on out-of-range [domains], negative [spin], or
+    non-positive [yield_s]. *)
 
 val domains : t -> int
 

@@ -1,0 +1,561 @@
+(* Tests of the contention-adaptive dispatch layer (Harness.Adaptive):
+   the pure Policy kernel (threshold verdicts, hysteresis fold,
+   parameter validation), differential equivalence of the adaptive
+   structures against the plain unboxed natives on random sequences that
+   force mode flips, multi-domain exactness across flips, report sanity,
+   and zero-allocation guards on the solo and plain-mode update paths.
+   Linearizability of adaptive histories under chaos lives in
+   test_chaos.ml. *)
+
+module P = Harness.Adaptive.Policy
+module AD = Harness.Adaptive.Alg_a
+module CD = Harness.Adaptive.Cas
+module FD = Harness.Adaptive.Farray_c
+module ND = Harness.Adaptive.Naive_c
+module AU = Maxreg.Algorithm_a.Unboxed
+module CU = Maxreg.Cas_maxreg.Unboxed
+module FU = Counters.Farray_counter.Unboxed
+module NU = Counters.Naive_counter.Unboxed
+
+(* {1 The pure policy kernel} *)
+
+let base_params =
+  { P.epoch_ops = 1024;
+    hysteresis = 2;
+    min_updates = 100;
+    update_share_min = 0.2;
+    cas_fail_min = 0.5;
+    stale_min = 2.;
+    benefit_min = 0.5 }
+
+let test_validate () =
+  let check msg p =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () -> P.validate p)
+  in
+  check "Adaptive: epoch_ops must be a positive power of two"
+    { base_params with P.epoch_ops = 0 };
+  check "Adaptive: epoch_ops must be a positive power of two"
+    { base_params with P.epoch_ops = 3 };
+  check "Adaptive: hysteresis must be >= 1"
+    { base_params with P.hysteresis = 0 };
+  check "Adaptive: negative min_updates"
+    { base_params with P.min_updates = -1 };
+  check "Adaptive: update_share_min out of [0, 1]"
+    { base_params with P.update_share_min = 1.5 };
+  check "Adaptive: negative cas_fail_min"
+    { base_params with P.cas_fail_min = -0.1 };
+  check "Adaptive: negative stale_min"
+    { base_params with P.stale_min = -0.5 };
+  check "Adaptive: negative benefit_min"
+    { base_params with P.benefit_min = -1. };
+  P.validate base_params;
+  List.iter P.validate
+    [ P.default_maxreg; P.default_cas; P.default_counter; P.default_control ]
+
+let test_want_thresholds () =
+  let mode = Alcotest.testable (Fmt.of_to_string P.mode_name) ( = ) in
+  let check msg expect ~current s =
+    Alcotest.check mode msg expect (P.want base_params ~current s)
+  in
+  (* too few updates: no evidence, keep whatever mode is active *)
+  check "sparse epoch keeps plain" P.Plain ~current:P.Plain
+    { P.zero_signals with P.updates = 50; cas_failures = 50; cas_attempts = 50 };
+  check "sparse epoch keeps combining" P.Combining ~current:P.Combining
+    { P.zero_signals with P.updates = 50 };
+  (* read-dominated epochs always want the plain path *)
+  check "read-heavy wants plain" P.Plain ~current:P.Combining
+    { P.zero_signals with P.updates = 1000; reads = 9000; eliminations = 1000 };
+  (* plain -> combining needs real CAS contention *)
+  check "contended CAS enters combining" P.Combining ~current:P.Plain
+    { P.zero_signals with
+      P.updates = 1000;
+      cas_attempts = 1000;
+      cas_failures = 600 };
+  check "calm CAS stays plain" P.Plain ~current:P.Plain
+    { P.zero_signals with
+      P.updates = 1000;
+      cas_attempts = 1000;
+      cas_failures = 400 };
+  check "no CAS at all stays plain" P.Plain ~current:P.Plain
+    { P.zero_signals with P.updates = 1000 };
+  (* combining -> plain when the arena stops earning its keep *)
+  check "earning arena stays combining" P.Combining ~current:P.Combining
+    { P.zero_signals with
+      P.updates = 1000;
+      eliminations = 400;
+      combined_ops = 200 };
+  check "idle arena leaves combining" P.Plain ~current:P.Combining
+    { P.zero_signals with P.updates = 1000; eliminations = 100 }
+
+let test_want_stale_trigger () =
+  let mode = Alcotest.testable (Fmt.of_to_string P.mode_name) ( = ) in
+  (* CAS bar out of reach: the stale-write rate carries the verdict, as
+     it does for unmetered instances (disabled metrics = no CAS signal) *)
+  let p = { base_params with P.cas_fail_min = 2.; stale_min = 0.3 } in
+  let check msg expect ~current s =
+    Alcotest.check mode msg expect (P.want p ~current s)
+  in
+  check "stale writes enter combining" P.Combining ~current:P.Plain
+    { P.zero_signals with P.updates = 1000; stale = 400 };
+  check "fresh writes stay plain" P.Plain ~current:P.Plain
+    { P.zero_signals with P.updates = 1000; stale = 200 };
+  Alcotest.check mode "a > 1 bar disables the trigger" P.Plain
+    (P.want { p with P.stale_min = 2. } ~current:P.Plain
+       { P.zero_signals with P.updates = 1000; stale = 1000 })
+
+(* Signal fixtures whose verdict is unambiguous under [hys_params]:
+   [s_comb] wants combining from either mode (contended CAS, earning
+   arena), [s_plain] wants plain from either mode. *)
+let hys_params h =
+  { P.epoch_ops = 2;
+    hysteresis = h;
+    min_updates = 0;
+    update_share_min = 0.;
+    cas_fail_min = 0.5;
+    stale_min = 2.;
+    benefit_min = 0.5 }
+
+let s_comb =
+  { P.zero_signals with
+    P.updates = 10;
+    cas_attempts = 10;
+    cas_failures = 10;
+    eliminations = 10 }
+
+let s_plain = { P.zero_signals with P.updates = 10 }
+
+let test_hysteresis_flips_after_exactly_n () =
+  let p = hys_params 3 in
+  let h0 = P.initial P.Plain in
+  let h1 = P.step p h0 s_comb in
+  let h2 = P.step p h1 s_comb in
+  Alcotest.(check bool) "two dissents: no flip yet" true
+    (h2.P.mode = P.Plain && h2.P.streak = 2 && h2.P.flips = 0);
+  let h3 = P.step p h2 s_comb in
+  Alcotest.(check bool) "third dissent flips" true
+    (h3.P.mode = P.Combining && h3.P.streak = 0 && h3.P.flips = 1);
+  (* an agreeing epoch resets the streak *)
+  let g2 = P.step p (P.step p h0 s_comb) s_plain in
+  Alcotest.(check bool) "agreeing epoch resets streak" true
+    (g2.P.mode = P.Plain && g2.P.streak = 0 && g2.P.flips = 0);
+  let g5 = P.step p (P.step p (P.step p g2 s_comb) s_comb) s_comb in
+  Alcotest.(check bool) "streak restarts from zero after the reset" true
+    (g5.P.mode = P.Combining && g5.P.flips = 1)
+
+(* Each flip consumes [h] consecutive dissenting epochs, so however
+   adversarial the verdict sequence, flips <= epochs / h. *)
+let qcheck_hysteresis_bounds_flips =
+  QCheck.Test.make ~count:500 ~name:"flips bounded by epochs / hysteresis"
+    QCheck.(pair (int_range 1 4) (list_of_size (QCheck.Gen.return 60) bool))
+    (fun (h, verdicts) ->
+      let p = hys_params h in
+      let final =
+        List.fold_left
+          (fun st wants_comb ->
+            P.step p st (if wants_comb then s_comb else s_plain))
+          (P.initial P.Plain) verdicts
+      in
+      final.P.flips * h <= List.length verdicts)
+
+(* {1 Differential: adaptive vs plain unboxed, across flip boundaries}
+
+   The adaptive structures claim "same structure, mode only selects the
+   update path"; on sequential random mixes they must be observationally
+   identical to the plain unboxed natives.  The thrashing policy (epoch
+   every 2 updates of a pid, hysteresis 1, combining bar 0, unreachable
+   benefit bar) makes the dispatcher flip constantly, so the sequences
+   cross many plain->combining and combining->plain boundaries. *)
+
+let thrash_policy =
+  { P.epoch_ops = 2;
+    hysteresis = 1;
+    min_updates = 1;
+    update_share_min = 0.;
+    cas_fail_min = 0.;
+    stale_min = 2.;
+    benefit_min = 10. }
+
+(* op = (pid, value): value >= 0 is an update, -1 a read *)
+let ops_gen ~n =
+  QCheck.make
+    ~print:QCheck.Print.(list (pair int int))
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 1 120)
+       (QCheck.Gen.pair (QCheck.Gen.int_range 0 (n - 1))
+          (QCheck.Gen.int_range (-1) 40)))
+
+let differential_maxreg_alg_a =
+  QCheck.Test.make ~count:200 ~name:"algorithm-a: adaptive = plain"
+    (ops_gen ~n:3)
+    (fun ops ->
+      let plain = AU.create ~n:3 () in
+      let ad = AD.create ~policy:thrash_policy ~n:3 ~domains:3 () in
+      List.for_all
+        (fun (pid, v) ->
+          if v < 0 then AU.read_max plain = AD.read_max ad
+          else begin
+            AU.write_max plain ~pid v;
+            AD.write_max ad ~pid v;
+            AU.read_max plain = AD.read_max ad
+          end)
+        ops)
+
+let differential_maxreg_cas =
+  QCheck.Test.make ~count:200 ~name:"cas-loop: adaptive = plain"
+    (ops_gen ~n:3)
+    (fun ops ->
+      let plain = CU.create () in
+      let ad = CD.create ~policy:thrash_policy ~domains:3 () in
+      List.for_all
+        (fun (pid, v) ->
+          if v < 0 then CU.read_max plain = CD.read_max ad
+          else begin
+            CU.write_max plain ~pid v;
+            CD.write_max ad ~pid v;
+            CU.read_max plain = CD.read_max ad
+          end)
+        ops)
+
+let differential_counter_farray =
+  QCheck.Test.make ~count:200 ~name:"farray: adaptive = plain"
+    (ops_gen ~n:3)
+    (fun ops ->
+      let plain = FU.create ~n:3 () in
+      let ad = FD.create ~policy:thrash_policy ~n:3 ~domains:3 () in
+      List.for_all
+        (fun (pid, v) ->
+          if v < 0 then FU.read plain = FD.read ad
+          else begin
+            FU.increment plain ~pid;
+            FD.increment ad ~pid;
+            FU.read plain = FD.read ad
+          end)
+        ops)
+
+let differential_counter_naive =
+  QCheck.Test.make ~count:200 ~name:"naive: adaptive = plain"
+    (ops_gen ~n:3)
+    (fun ops ->
+      let plain = NU.create ~n:3 () in
+      let ad = ND.create ~policy:thrash_policy ~n:3 ~domains:3 () in
+      List.for_all
+        (fun (pid, v) ->
+          if v < 0 then NU.read plain = ND.read ad
+          else begin
+            NU.increment plain ~pid;
+            ND.increment ad ~pid;
+            NU.read plain = ND.read ad
+          end)
+        ops)
+
+(* The differential property holds trivially if the dispatcher never
+   leaves plain mode; pin that the thrashing policy really does flip on
+   a deterministic all-update sequence. *)
+let test_thrash_actually_flips () =
+  let ad = AD.create ~policy:thrash_policy ~n:2 ~domains:2 () in
+  for i = 1 to 64 do
+    AD.write_max ad ~pid:(i land 1) i
+  done;
+  let r = AD.report ad in
+  Alcotest.(check bool) "epochs evaluated" true (r.Harness.Adaptive.epochs > 0);
+  Alcotest.(check bool) "flips happened" true
+    (r.Harness.Adaptive.epoch_flips > 0);
+  Alcotest.(check bool) "some ops ran in combining mode" true
+    (r.Harness.Adaptive.combining_ops_pct > 0.)
+
+(* {1 Reports} *)
+
+let test_report_fresh () =
+  let ad = AD.create ~n:2 ~domains:2 () in
+  let r = AD.report ad in
+  Alcotest.(check bool) "fresh: plain, no epochs, no flips, 0%" true
+    (r.Harness.Adaptive.mode = P.Plain
+    && r.Harness.Adaptive.epochs = 0
+    && r.Harness.Adaptive.epoch_flips = 0
+    && r.Harness.Adaptive.combining_ops_pct = 0.)
+
+let test_report_counts_residual () =
+  (* default maxreg policy, epoch_ops = 1024: 10 updates never reach an
+     epoch boundary, yet the report's ops accounting must see them *)
+  let ad = AD.create ~n:2 ~domains:2 () in
+  for i = 1 to 10 do
+    AD.write_max ad ~pid:0 i
+  done;
+  let r = AD.report ad in
+  Alcotest.(check int) "no epoch yet" 0 r.Harness.Adaptive.epochs;
+  Alcotest.(check (float 1e-9)) "all residual ops ran plain" 0.
+    r.Harness.Adaptive.combining_ops_pct
+
+let test_create_validates_policy () =
+  Alcotest.check_raises "bad policy refused at create"
+    (Invalid_argument "Adaptive: epoch_ops must be a positive power of two")
+    (fun () ->
+      ignore
+        (AD.create ~policy:{ base_params with P.epoch_ops = 12 } ~n:2
+           ~domains:2 ()
+          : AD.t))
+
+let test_tick_rejects_bad_pid () =
+  let ad = FD.create ~policy:thrash_policy ~n:2 ~domains:2 () in
+  Alcotest.(check bool) "out-of-range pid raises, never corrupts" true
+    (match FD.increment ad ~pid:7 with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
+(* {1 Batch-granular dispatch: the bench's idiom}
+
+   The timed loops hoist [combining_now] per batch, run the raw
+   [write_plain]/[write_combining] path, and settle accounting once via
+   [tick_many].  Pin that this path (a) drives epochs and the
+   stale-rate trigger, (b) respects the read-share gate, and (c) stays
+   observationally identical to the plain unboxed structure across
+   flips in both directions. *)
+
+let test_batch_stale_flips () =
+  let policy =
+    { P.epoch_ops = 64;
+      hysteresis = 1;
+      min_updates = 1;
+      update_share_min = 0.;
+      cas_fail_min = 2.;
+      stale_min = 0.25;
+      benefit_min = 0. }
+  in
+  let ad = AD.create ~policy ~n:2 ~domains:2 () in
+  AD.write_plain ad ~pid:0 1000;
+  Alcotest.(check bool) "starts plain" false (AD.combining_now ad);
+  (* two batches of 64 stale writes: rate 1.0 >= 0.25 at the boundary *)
+  for _ = 1 to 2 do
+    for v = 1 to 64 do
+      AD.write_plain ad ~pid:0 v
+    done;
+    AD.tick_many ad ~pid:0 ~reads:0 ~updates:64 ~stale:64
+  done;
+  Alcotest.(check bool) "stale batches flipped to combining" true
+    (AD.combining_now ad);
+  let r = AD.report ad in
+  Alcotest.(check bool) "report saw the flip" true
+    (r.Harness.Adaptive.epoch_flips >= 1)
+
+let test_batch_reads_gate_share () =
+  let policy =
+    { P.epoch_ops = 64;
+      hysteresis = 1;
+      min_updates = 1;
+      update_share_min = 0.5;
+      cas_fail_min = 2.;
+      stale_min = 0.25;
+      benefit_min = 0. }
+  in
+  let ad = AD.create ~policy ~n:2 ~domains:2 () in
+  AD.write_plain ad ~pid:0 1000;
+  (* every batch is fully stale but read-dominated: share 64/576 < 0.5,
+     so the share gate wins and the mode never leaves plain *)
+  for _ = 1 to 4 do
+    AD.tick_many ad ~pid:0 ~reads:512 ~updates:64 ~stale:64
+  done;
+  Alcotest.(check bool) "read-dominated batches stay plain" false
+    (AD.combining_now ad)
+
+let test_batch_dispatch_differential () =
+  (* benefit bar unreachable: stale batches pull the dispatcher into
+     combining, the next epoch throws it back out — the batch API must
+     track the plain structure across flips in both directions *)
+  let policy =
+    { P.epoch_ops = 16;
+      hysteresis = 1;
+      min_updates = 1;
+      update_share_min = 0.;
+      cas_fail_min = 2.;
+      stale_min = 0.25;
+      benefit_min = 10. }
+  in
+  let plain = AU.create ~n:2 () in
+  let ad = AD.create ~policy ~n:2 ~domains:2 () in
+  (* two fresh batches raise the max, then a long stale run: the stale
+     rate pulls the mode to combining, where every write eliminates —
+     benefit 1 < 10 throws it back to plain, and the cycle repeats *)
+  let next = ref 0 in
+  for b = 0 to 31 do
+    let stale_batch = b >= 2 in
+    let stale = ref 0 in
+    let comb = AD.combining_now ad in
+    for _ = 1 to 16 do
+      let v = if stale_batch then 0 else (incr next; !next) in
+      AU.write_max plain ~pid:0 v;
+      if comb then AD.write_combining ad ~pid:0 v
+      else begin
+        if v <= AD.read_max ad then incr stale;
+        AD.write_plain ad ~pid:0 v
+      end;
+      if AU.read_max plain <> AD.read_max ad then
+        Alcotest.failf "diverged at batch %d" b
+    done;
+    AD.tick_many ad ~pid:0 ~reads:0 ~updates:16 ~stale:!stale
+  done;
+  let r = AD.report ad in
+  Alcotest.(check bool) "batch dispatcher flipped both ways" true
+    (r.Harness.Adaptive.epoch_flips >= 2)
+
+(* {1 Multi-domain exactness across flips} *)
+
+let domains_used = 4
+let per_domain = 20_000
+
+let flip_policy = { thrash_policy with P.epoch_ops = 64 }
+
+let test_parallel_maxreg_exact () =
+  let reg = AD.create ~policy:flip_policy ~n:domains_used ~domains:domains_used () in
+  let monotone = Atomic.make true in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains_used (fun pid ->
+        if pid = 0 then begin
+          let last = ref 0 in
+          for _ = 1 to per_domain do
+            let v = AD.read_max reg in
+            if v < !last then Atomic.set monotone false;
+            last := v
+          done
+        end
+        else
+          for v = 1 to per_domain do
+            AD.write_max reg ~pid ((v * domains_used) + pid)
+          done)
+  in
+  Alcotest.(check bool) "adaptive reads monotone" true (Atomic.get monotone);
+  Alcotest.(check int) "adaptive final maximum"
+    ((per_domain * domains_used) + (domains_used - 1))
+    (AD.read_max reg);
+  let r = AD.report reg in
+  Alcotest.(check bool) "dispatcher flipped during the run" true
+    (r.Harness.Adaptive.epoch_flips > 0)
+
+let test_parallel_counter_exact () =
+  let cnt = FD.create ~policy:flip_policy ~n:domains_used ~domains:domains_used () in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains_used (fun pid ->
+        for _ = 1 to per_domain do
+          FD.increment cnt ~pid
+        done)
+  in
+  Alcotest.(check int) "adaptive counter total exact"
+    (domains_used * per_domain) (FD.read cnt);
+  let ncnt = ND.create ~policy:flip_policy ~n:domains_used ~domains:domains_used () in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains_used (fun pid ->
+        for _ = 1 to per_domain do
+          ND.increment ncnt ~pid
+        done)
+  in
+  Alcotest.(check int) "adaptive naive counter total exact"
+    (domains_used * per_domain) (ND.read ncnt)
+
+(* {1 Zero allocation on the dispatch fast paths}
+
+   The per-op cost of adaptivity is a mode check and a tick; neither may
+   allocate.  The epoch advance is the deliberately-allocating rare path
+   (it folds stats records), so the plain-mode guard uses an epoch far
+   beyond the op budget.  Same minor-heap-delta idiom as
+   test_combining.ml. *)
+
+let minor_delta f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let ops = 10_000
+let slack = 256.0
+
+let check_alloc_free name f =
+  ignore (minor_delta f : float) (* warm up: force any one-time allocation *);
+  let delta = minor_delta f in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %d ops allocate <= %.0f words (got %.0f)" name ops
+       slack delta)
+    true (delta <= slack)
+
+let test_alloc_free_solo () =
+  let reg = AD.create ~n:1 ~domains:1 () in
+  let v0 = ref 0 in
+  check_alloc_free "adaptive alg-a write_max (solo)" (fun () ->
+      let base = !v0 in
+      for i = 1 to ops do
+        AD.write_max reg ~pid:0 (base + i)
+      done;
+      v0 := base + ops);
+  check_alloc_free "adaptive alg-a read_max" (fun () ->
+      for _ = 1 to ops do
+        ignore (AD.read_max reg : int)
+      done);
+  let cnt = FD.create ~n:1 ~domains:1 () in
+  check_alloc_free "adaptive farray increment (solo)" (fun () ->
+      for _ = 1 to ops do
+        FD.increment cnt ~pid:0
+      done)
+
+let no_epoch_policy = { P.default_maxreg with P.epoch_ops = 1 lsl 20 }
+
+let test_alloc_free_plain_mode () =
+  (* domains = 2: full dispatch (mode check + tick) on the plain path,
+     with the epoch boundary pushed beyond the op budget *)
+  let reg = AD.create ~policy:no_epoch_policy ~n:2 ~domains:2 () in
+  let v0 = ref 0 in
+  check_alloc_free "adaptive alg-a write_max (plain dispatch)" (fun () ->
+      let base = !v0 in
+      for i = 1 to ops do
+        AD.write_max reg ~pid:(i land 1) (base + i)
+      done;
+      v0 := base + ops);
+  let cnt =
+    FD.create
+      ~policy:{ P.default_counter with P.epoch_ops = 1 lsl 20 }
+      ~n:2 ~domains:2 ()
+  in
+  check_alloc_free "adaptive farray increment (plain dispatch)" (fun () ->
+      for i = 1 to ops do
+        FD.increment cnt ~pid:(i land 1)
+      done)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let () =
+  Alcotest.run "adaptive"
+    [ ( "policy",
+        Alcotest.test_case "params validated" `Quick test_validate
+        :: Alcotest.test_case "want thresholds" `Quick test_want_thresholds
+        :: Alcotest.test_case "stale-rate trigger" `Quick
+             test_want_stale_trigger
+        :: Alcotest.test_case "hysteresis flips after exactly N" `Quick
+             test_hysteresis_flips_after_exactly_n
+        :: qsuite [ qcheck_hysteresis_bounds_flips ] );
+      ( "differential",
+        qsuite
+          [ differential_maxreg_alg_a;
+            differential_maxreg_cas;
+            differential_counter_farray;
+            differential_counter_naive ]
+        @ [ Alcotest.test_case "thrash policy actually flips" `Quick
+              test_thrash_actually_flips ] );
+      ( "reports",
+        [ Alcotest.test_case "fresh report" `Quick test_report_fresh;
+          Alcotest.test_case "residual partial epoch counted" `Quick
+            test_report_counts_residual;
+          Alcotest.test_case "create validates policy" `Quick
+            test_create_validates_policy;
+          Alcotest.test_case "bad pid raises" `Quick test_tick_rejects_bad_pid ] );
+      ( "batch",
+        [ Alcotest.test_case "stale batches flip to combining" `Quick
+            test_batch_stale_flips;
+          Alcotest.test_case "read-dominated batches stay plain" `Quick
+            test_batch_reads_gate_share;
+          Alcotest.test_case "batch dispatch differential" `Quick
+            test_batch_dispatch_differential ] );
+      ( "parallel",
+        [ Alcotest.test_case "max register exact across flips" `Quick
+            test_parallel_maxreg_exact;
+          Alcotest.test_case "counters exact across flips" `Quick
+            test_parallel_counter_exact ] );
+      ( "allocation",
+        [ Alcotest.test_case "solo path allocates nothing" `Quick
+            test_alloc_free_solo;
+          Alcotest.test_case "plain dispatch allocates nothing" `Quick
+            test_alloc_free_plain_mode ] ) ]

@@ -15,6 +15,19 @@ let cfg ?metrics seed =
 
 let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
+(* A deliberately thrashing adaptive policy: with the combining bar at 0
+   (any epoch wants in) and the benefit bar at 10 (no epoch can earn its
+   keep), the dispatcher oscillates every epoch — maximal stress on the
+   flip machinery. *)
+let thrash_policy =
+  { Harness.Adaptive.Policy.epoch_ops = 2;
+    hysteresis = 1;
+    min_updates = 1;
+    update_share_min = 0.;
+    cas_fail_min = 0.;
+    stale_min = 2.;
+    benefit_min = 10. }
+
 (* {1 Bursts under chaos linearize} *)
 
 let test_burst_maxreg () =
@@ -128,6 +141,140 @@ let test_combining_invariants_under_chaos () =
   let s = Smem.Combine.stats arena in
   Alcotest.(check bool) "arena saw activity" true
     (s.Smem.Combine.lock_acquisitions + s.Smem.Combine.eliminations > 0)
+
+(* The adaptive soak: exact totals and maxima through many forced mode
+   flips under sustained chaos.  The flip-prone policy (epoch every 64
+   updates, combining bar 0, benefit bar 10) keeps the dispatcher
+   oscillating, so plain CAS updates race arena applies across hundreds
+   of mixed-mode windows — the invariants must hold anyway, and the
+   report must stay sane. *)
+let test_adaptive_invariants_under_chaos () =
+  let c = cfg 131 in
+  let domains = 4 in
+  let per_domain = 5_000 in
+  let flip_policy =
+    { thrash_policy with Harness.Adaptive.Policy.epoch_ops = 64 }
+  in
+  let cnt, chandle =
+    Harness.Instances.farray_c_native_adaptive ~policy:flip_policy ~n:domains
+      ~domains ()
+  in
+  let cnt = Harness.Chaos.instrument_counter c cnt in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains (fun pid ->
+        for _ = 1 to per_domain do
+          cnt.increment ~pid
+        done)
+  in
+  Alcotest.(check int) "adaptive counter exact under chaos"
+    (domains * per_domain) (cnt.read ());
+  let cr = Harness.Adaptive.Farray_c.report chandle in
+  Alcotest.(check bool) "counter flips bounded and present" true
+    (cr.Harness.Adaptive.epoch_flips > 0
+    && cr.Harness.Adaptive.epoch_flips <= cr.Harness.Adaptive.epochs);
+  Alcotest.(check bool) "combining share within [0, 100]" true
+    (cr.Harness.Adaptive.combining_ops_pct >= 0.
+    && cr.Harness.Adaptive.combining_ops_pct <= 100.);
+  let reg, handle =
+    Harness.Instances.alg_a_native_adaptive ~policy:flip_policy ~n:domains
+      ~domains ()
+  in
+  let reg = Harness.Chaos.instrument_maxreg c reg in
+  let (_ : unit array) =
+    Harness.Chaos.Inject.spawn_indexed domains (fun pid ->
+        for v = 1 to per_domain do
+          reg.write_max ~pid ((v * domains) + pid)
+        done)
+  in
+  Alcotest.(check int) "adaptive maximum exact under chaos"
+    ((per_domain * domains) + (domains - 1))
+    (reg.read_max ());
+  let r = Harness.Adaptive.Alg_a.report handle in
+  Alcotest.(check bool) "maxreg flips present" true
+    (r.Harness.Adaptive.epoch_flips > 0);
+  (* with the benefit bar unreachable, combining windows are transient:
+     some ops ran there, but the dispatcher always comes back *)
+  Alcotest.(check bool) "combining share strictly inside (0, 100)" true
+    (r.Harness.Adaptive.combining_ops_pct > 0.
+    && r.Harness.Adaptive.combining_ops_pct < 100.)
+
+(* Adaptive backends under chaos.  Two flavors per seed: the default
+   policies (dispatch machinery live, flips rare at burst scale), and
+   the deliberately thrashing policy above — epoch every 2 updates,
+   hysteresis 1, a combining bar of 0 and a benefit bar of 10 — so the
+   mode flips back and forth INSIDE the burst while storms land astride
+   the epoch lock.  Histories must linearize either way. *)
+let test_burst_adaptive () =
+  List.iter
+    (fun seed ->
+      let c = cfg seed in
+      List.iter
+        (fun impl ->
+          let reg, _arena, _report =
+            Option.get (Harness.Chaos.maxreg_adaptive c ~n:3 ~domains:3 impl)
+          in
+          let ops =
+            Harness.Chaos.burst_maxreg c ~domains:3 ~ops_per_domain:8 reg
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "adaptive %s burst linearizes (seed %d)"
+               (Harness.Instances.maxreg_name impl)
+               seed)
+            true
+            (lin_maxreg ~n:3 ops))
+        [ Harness.Instances.Algorithm_a; Harness.Instances.Cas_maxreg ];
+      let cnt, _arena, _report =
+        Option.get
+          (Harness.Chaos.counter_adaptive c ~n:3 ~domains:3
+             Harness.Instances.Farray_counter)
+      in
+      let ops = Harness.Chaos.burst_counter c ~domains:3 ~ops_per_domain:8 cnt in
+      Alcotest.(check bool)
+        (Printf.sprintf "adaptive f-array counter burst linearizes (seed %d)"
+           seed)
+        true
+        (lin_counter ~n:3 ops))
+    seeds
+
+let test_burst_adaptive_thrashing () =
+  List.iter
+    (fun seed ->
+      let c = cfg seed in
+      let inst, handle =
+        Harness.Instances.alg_a_native_adaptive ~policy:thrash_policy ~n:3
+          ~domains:3 ()
+      in
+      let reg = Harness.Chaos.instrument_maxreg c inst in
+      let ops = Harness.Chaos.burst_maxreg c ~domains:3 ~ops_per_domain:8 reg in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "adaptive algorithm A burst linearizes across flips (seed %d)" seed)
+        true
+        (lin_maxreg ~n:3 ops);
+      let r = Harness.Adaptive.Alg_a.report handle in
+      Alcotest.(check bool)
+        (Printf.sprintf "thrash policy actually flipped (seed %d)" seed)
+        true
+        (r.Harness.Adaptive.epoch_flips > 0);
+      let cinst, chandle =
+        Harness.Instances.farray_c_native_adaptive ~policy:thrash_policy ~n:3
+          ~domains:3 ()
+      in
+      let cnt = Harness.Chaos.instrument_counter c cinst in
+      let ops =
+        Harness.Chaos.burst_counter c ~domains:3 ~ops_per_domain:8 cnt
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "adaptive f-array burst linearizes across flips (seed %d)" seed)
+        true
+        (lin_counter ~n:3 ops);
+      let cr = Harness.Adaptive.Farray_c.report chandle in
+      Alcotest.(check bool)
+        (Printf.sprintf "counter thrash policy flipped (seed %d)" seed)
+        true
+        (cr.Harness.Adaptive.epoch_flips > 0))
+    seeds
 
 let test_burst_rejects_oversize () =
   let c = cfg 1 in
@@ -312,6 +459,10 @@ let () =
             test_burst_snapshot;
           Alcotest.test_case "combining bursts linearize" `Quick
             test_burst_combining;
+          Alcotest.test_case "adaptive bursts linearize" `Quick
+            test_burst_adaptive;
+          Alcotest.test_case "adaptive bursts linearize across flips" `Quick
+            test_burst_adaptive_thrashing;
           Alcotest.test_case "oversize burst refused" `Quick
             test_burst_rejects_oversize ] );
       ( "broken fixture",
@@ -327,4 +478,6 @@ let () =
         [ Alcotest.test_case "totals exact, maxima monotone" `Slow
             test_invariants_under_chaos;
           Alcotest.test_case "combining totals and maxima exact" `Slow
-            test_combining_invariants_under_chaos ] ) ]
+            test_combining_invariants_under_chaos;
+          Alcotest.test_case "adaptive totals and maxima exact across flips"
+            `Slow test_adaptive_invariants_under_chaos ] ) ]

@@ -292,6 +292,63 @@ let test_parallel_maxreg_exact () =
     ((per_domain * domains_used) + (domains_used - 1))
     (CC.read_max creg)
 
+(* {1 Parking backoff (scripted clock)}
+
+   The park loop must sleep yield_s, 2*yield_s, 4*yield_s, ... capped at
+   yield_s * 2^6, re-checking slot and lock before every sleep.  The old
+   code slept a constant 50 µs and reset the spin budget after every
+   sleep, so a long-parked domain reburned its whole spin allowance
+   between naps.  A scripted [~sleep] records the exact durations the
+   arena asks for — no wall clock involved. *)
+
+let test_create_validates_yield () =
+  Alcotest.check_raises "yield_s = 0 refused"
+    (Invalid_argument "Combine.create: non-positive yield_s") (fun () ->
+      ignore (C.create ~yield_s:0. ~domains:2 ~combine:( + ) () : C.t));
+  Alcotest.check_raises "negative yield_s refused"
+    (Invalid_argument "Combine.create: non-positive yield_s") (fun () ->
+      ignore (C.create ~yield_s:(-1e-6) ~domains:2 ~combine:( + ) () : C.t))
+
+let test_backoff_doubles_and_caps () =
+  let y = 0.001 in
+  (* written only by the parked domain (the main thread below) *)
+  let sleeps = ref [] in
+  let release = Atomic.make false in
+  let in_apply = Atomic.make false in
+  let sleep s =
+    sleeps := s :: !sleeps;
+    if List.length !sleeps >= 10 then Atomic.set release true
+  in
+  let t = C.create ~spin:16 ~yield_s:y ~sleep ~domains:2 ~combine:max () in
+  let total = Atomic.make 0 in
+  (* the apply runs while holding the combiner lock; gating it keeps the
+     lock held until the parked domain has recorded enough sleeps *)
+  let gate_apply _ op =
+    Atomic.set in_apply true;
+    while not (Atomic.get release) do
+      Domain.cpu_relax ()
+    done;
+    ignore (Atomic.fetch_and_add total op : int)
+  in
+  let d = Domain.spawn (fun () -> C.submit t ~domain:0 ~apply:gate_apply 1) in
+  while not (Atomic.get in_apply) do
+    Domain.cpu_relax ()
+  done;
+  (* publishes while the lock is held inside the gated apply: must park *)
+  C.submit t ~domain:1 ~apply:gate_apply 2;
+  Domain.join d;
+  let recorded = List.rev !sleeps in
+  Alcotest.(check bool) "parked at least 10 times" true
+    (List.length recorded >= 10);
+  List.iteri
+    (fun i s ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "sleep %d doubles then caps" i)
+        (y *. float_of_int (1 lsl min i 6))
+        s)
+    recorded;
+  Alcotest.(check int) "both ops applied" 3 (Atomic.get total)
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
 
 let () =
@@ -303,7 +360,11 @@ let () =
             test_single_domain_bypass;
           Alcotest.test_case "solo submit stats" `Quick test_solo_submit_stats;
           Alcotest.test_case "elimination tally and reset" `Quick
-            test_elimination_and_reset ] );
+            test_elimination_and_reset;
+          Alcotest.test_case "yield_s validated" `Quick
+            test_create_validates_yield;
+          Alcotest.test_case "parking backoff doubles then caps" `Quick
+            test_backoff_doubles_and_caps ] );
       ( "differential",
         qsuite
           [ differential_maxreg_alg_a;

@@ -38,6 +38,25 @@ let qcheck_bucket_error =
       b = H.n_buckets - 1
       || float_of_int (H.bucket_width b) <= Float.max 1. (0.04 *. float_of_int v))
 
+(* The round-trip bound the .mli documents: the bucket's lower bound
+   never overshoots and never lags the value by more than one part in
+   sub_count (= 32), over the FULL non-negative int range — exact in the
+   linear region below 32, lower-bound-only in the clamping top
+   bucket.  [i land max_int] covers the whole range without the
+   [abs min_int] sign trap. *)
+let qcheck_bucket_roundtrip =
+  QCheck.Test.make ~count:4000
+    ~name:"value_of_bucket (bucket_of_value v) within 1/32 of v"
+    QCheck.(map (fun i -> i land max_int) int)
+    (fun v ->
+      let b = H.bucket_of_value v in
+      let lo = H.value_of_bucket b in
+      if v < 32 then lo = v
+      else if b = H.n_buckets - 1 then lo <= v
+      else
+        lo <= v
+        && float_of_int (v - lo) /. float_of_int v <= 1. /. 32.)
+
 (* {1 Histogram: record / stats / percentiles} *)
 
 let test_hist_exact_stats () =
@@ -422,7 +441,8 @@ let () =
     [ ( "histogram buckets",
         [ Alcotest.test_case "exact below 32" `Quick test_bucket_bounds_small;
           q qcheck_bucket_contains;
-          q qcheck_bucket_error ] );
+          q qcheck_bucket_error;
+          q qcheck_bucket_roundtrip ] );
       ( "histogram",
         [ Alcotest.test_case "exact stats" `Quick test_hist_exact_stats;
           Alcotest.test_case "empty" `Quick test_hist_empty;
