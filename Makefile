@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-all check lint tsan chaos adaptive bench bench-native experiments examples clean doc
+.PHONY: all build test test-all check lint cost tsan chaos adaptive bench bench-native experiments examples clean doc
 
 all: build
 
@@ -18,11 +18,17 @@ test-all:
 check: test
 	dune exec bin/repro.exe -- all --quick
 
-# concurrency-discipline linter (R1-R4 over the dune-produced .cmt
-# files; needs an OCaml 5.1 switch -- see lib/lint/dune)
+# concurrency-discipline linter (R1-R4 + cost rule C1 over the
+# dune-produced .cmt files; OCaml 5.1 and 5.2 -- see lib/lint/dune)
 lint:
 	dune build @default
 	dune exec bin/lint.exe
+
+# step-complexity certifier only: check every budgeted operation and
+# regenerate the committed COSTS.md table
+cost:
+	dune build @default
+	dune exec bin/lint.exe -- --cost --costs-md COSTS.md
 
 # run the raw-Atomic test surface under ThreadSanitizer; requires a
 # tsan compiler switch, e.g.:

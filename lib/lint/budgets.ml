@@ -1,0 +1,198 @@
+(* The declared step-complexity budgets, as data — the static analogue of
+   EXPERIMENTS.md's E1-E3 tables.  One row per (module, operation): the
+   paper's bound for that operation, which lib/lint/cost.ml must certify
+   the implementation stays within.  Growing or loosening a row is a
+   reviewed change to this file, not an edit at the violation site.
+
+   The auxiliary tables are the analysis's trusted annotations:
+
+   - [recursion]: self-recursive functions whose iteration count is
+     bounded by the data structure's geometry (a leaf-to-root walk is
+     O(log n) deep, the Afek scan retries at most N+1 times).  The
+     analysis multiplies the per-iteration cost by the declared class —
+     but only if the iteration re-reads shared state (the semantic R2
+     witness); a recursion that cannot observe other processes' steps is
+     reported Unbounded regardless of its annotation.  Unannotated
+     recursion with a nonzero per-iteration cost is Unbounded.
+
+   - [const_bounds]: identifiers that appear as [for]-loop limits and are
+     compile-time constants of known magnitude ([refreshes] is 2: the
+     double-refresh).  Any other non-literal loop limit is classified as
+     O(n) trips.
+
+   - [memory_params]: functor-parameter names instantiated with MEMORY /
+     MEMORY_GEN / MEMORY_INT; [<param>.read/write/cas] (and get/set/
+     compare_and_set) through one of these names is one shared access.
+     Calls through any OTHER functor parameter are Unbounded (the cost
+     belongs to the instantiation, e.g. Counter_of_snapshot over S).
+
+   - [instrumentation_roots]: call targets excluded from the model's
+     accounting (single-writer observability shards; the paper's
+     structures do not contain them). *)
+
+type row = {
+  op : string list;          (* qualified display path of the operation *)
+  budget : Summary.bound;    (* declared bound on total shared accesses *)
+  reason : string;           (* the paper/source of the bound, or why
+                                Unbounded is acceptable *)
+}
+
+type t = {
+  rows : row list;
+  recursion : (string list * Summary.bound) list;
+  const_bounds : (string * int) list;
+  memory_params : string list;
+  instrumentation_roots : string list;
+}
+
+let row op budget reason = { op; budget; reason }
+
+let default =
+  { rows =
+      [ (* max registers (E1 / Theorem 6) *)
+        row [ "Algorithm_a"; "Make"; "read_max" ] (Const 2)
+          "Algorithm A ReadMax: a single read of the root (paper sec. 5)";
+        row [ "Algorithm_a"; "Make"; "write_max" ] Log
+          "Algorithm A WriteMax: leaf write + double-refresh propagation, \
+           O(min(log N, log v))";
+        row [ "Algorithm_a"; "Unboxed"; "read_max" ] (Const 2)
+          "Algorithm A ReadMax (unboxed): one atomic load of the root";
+        row [ "Algorithm_a"; "Unboxed"; "write_max" ] Log
+          "Algorithm A WriteMax (unboxed): O(min(log N, log v))";
+        row [ "Algorithm_a"; "Unboxed"; "write_max_metered" ] Log
+          "metered WriteMax: same walk, instrumentation excluded from the \
+           model's accounting";
+        row [ "Aac_maxreg"; "Make"; "read_max" ] Log
+          "AAC bounded max register: switch descent, O(log M)";
+        row [ "Aac_maxreg"; "Make"; "write_max" ] Log
+          "AAC bounded max register: switch descent, O(log M)";
+        row [ "B1_maxreg"; "Make"; "read_max" ] Log
+          "AAC-over-B1 unbounded register: O(log vmax) switch probes";
+        row [ "B1_maxreg"; "Make"; "write_max" ] Log
+          "AAC-over-B1 unbounded register: O(log v) switch probes";
+        row [ "B1_maxreg"; "Unboxed"; "read_max" ] Log
+          "unboxed B1 register: O(log vmax), incl. lazy-cell probes";
+        row [ "B1_maxreg"; "Unboxed"; "write_max" ] Log
+          "unboxed B1 register: O(log v), incl. lazy-cell probes";
+        row [ "Cas_maxreg"; "Make"; "read_max" ] (Const 2)
+          "CAS-loop register ReadMax: one read";
+        row [ "Cas_maxreg"; "Make"; "write_max" ]
+          (Unbounded "lock-free CAS retry loop")
+          "deliberately not wait-free: retries bounded only by concurrent \
+           successful writers (the Theorem 3 adversary drives this to \
+           Theta(K)) — the baseline Algorithm A exists to beat";
+        row [ "Cas_maxreg"; "Unboxed"; "read_max" ] (Const 1)
+          "CAS-loop register ReadMax (unboxed): one atomic load";
+        row [ "Cas_maxreg"; "Unboxed"; "write_max" ]
+          (Unbounded "lock-free CAS retry loop")
+          "deliberately not wait-free (see boxed write_max)";
+        row [ "Cas_maxreg"; "Unboxed"; "write_max_metered" ]
+          (Unbounded "lock-free CAS retry loop")
+          "metered variant of the not-wait-free retry loop";
+        row [ "Cas_maxreg"; "Unboxed"; "write_once" ] (Const 2)
+          "single CAS attempt for the combining fast path: one load, one \
+           CAS";
+        (* counters (E2 / Theorem 1 & Corollary 2) *)
+        row [ "Naive_counter"; "Make"; "increment" ] (Const 2)
+          "single-writer cell bump: read own cell + write";
+        row [ "Naive_counter"; "Make"; "read" ] Linear
+          "collect of all N cells";
+        row [ "Naive_counter"; "Unboxed"; "increment" ] (Const 2)
+          "single-writer cell bump (unboxed)";
+        row [ "Naive_counter"; "Unboxed"; "add" ] (Const 2)
+          "batched bump: still one read + one write of the own cell";
+        row [ "Naive_counter"; "Unboxed"; "read" ] Linear
+          "collect of all N cells (unboxed)";
+        row [ "Aac_counter"; "Make"; "increment" ] Polylog
+          "AAC counter increment: O(log N) ancestors, each a O(log B) \
+           WriteMax — O(log N * log B)";
+        row [ "Aac_counter"; "Make"; "read" ] Log
+          "AAC counter read: one ReadMax of the root, O(log B)";
+        row [ "Farray_counter"; "Make"; "increment" ] Log
+          "f-array counter increment: leaf bump + propagation, O(log N)";
+        row [ "Farray_counter"; "Make"; "read" ] (Const 2)
+          "f-array counter read: one read of the root";
+        row [ "Farray_counter"; "Unboxed"; "increment" ] Log
+          "f-array counter increment (unboxed), O(log N)";
+        row [ "Farray_counter"; "Unboxed"; "add" ] Log
+          "batched increment: one leaf update + one propagation";
+        row [ "Farray_counter"; "Unboxed"; "increment_metered" ] Log
+          "metered increment: instrumentation excluded from the model";
+        row [ "Farray_counter"; "Unboxed"; "read" ] (Const 2)
+          "f-array counter read (unboxed): one atomic load";
+        (* f-array (Theorem 1's optimal point) *)
+        row [ "Farray"; "Make"; "read" ] (Const 1)
+          "f-array read: a single read of the root";
+        row [ "Farray"; "Make"; "read_leaf" ] (Const 1)
+          "single-writer leaf read";
+        row [ "Farray"; "Make"; "update" ] Log
+          "f-array update: leaf write + double-refresh propagation, \
+           O(log N)";
+        row [ "Farray"; "Unboxed"; "read" ] (Const 1)
+          "f-array read (unboxed): one atomic load";
+        row [ "Farray"; "Unboxed"; "read_leaf" ] (Const 1)
+          "single-writer leaf load (unboxed)";
+        row [ "Farray"; "Unboxed"; "update" ] Log
+          "f-array update (unboxed), O(log N)";
+        row [ "Farray"; "Unboxed"; "update_metered" ] Log
+          "metered update: instrumentation excluded from the model";
+        (* tree propagation primitive *)
+        row [ "Propagate"; "Make"; "refresh" ] (Const 4)
+          "one refresh: read node + read both children + CAS = 4 events";
+        row [ "Propagate"; "Make"; "propagate" ] Log
+          "leaf-to-root walk, 2 refreshes per ancestor: O(depth)";
+        row [ "Propagate"; "Unboxed"; "refresh" ] (Const 4)
+          "one refresh (unboxed): 3 loads + 1 CAS";
+        row [ "Propagate"; "Unboxed"; "propagate" ] Log
+          "leaf-to-root walk (unboxed): O(depth)";
+        row [ "Propagate"; "Unboxed"; "refresh_metered" ] (Const 4)
+          "metered refresh: instrumentation excluded from the model";
+        row [ "Propagate"; "Unboxed"; "propagate_metered" ] Log
+          "metered walk: instrumentation excluded from the model";
+        (* snapshots (E3) *)
+        row [ "Double_collect"; "Make"; "update" ] (Const 2)
+          "double-collect update: read own segment's seq + write";
+        row [ "Double_collect"; "Make"; "collect" ] Linear
+          "one collect: read all N segments";
+        row [ "Double_collect"; "Make"; "scan" ]
+          (Unbounded "collect-until-quiescent retry loop")
+          "obstruction-free only: a scan concurrent with an unbounded \
+           update stream never terminates (bounded in code by \
+           max_collects purely to keep adversarial experiments finite)";
+        row [ "Afek_snapshot"; "Make"; "collect" ] Linear
+          "one collect: read all N segments";
+        row [ "Afek_snapshot"; "Make"; "scan" ] Quadratic
+          "at most N+1 collects of N segments before a double-clean or a \
+           borrowed embedded scan: O(N^2)";
+        row [ "Afek_snapshot"; "Make"; "update" ] Quadratic
+          "update embeds a full scan: O(N^2)";
+        row [ "Farray_snapshot"; "Make"; "update" ] Log
+          "f-array snapshot update: leaf write + propagation, O(log N)";
+        row [ "Farray_snapshot"; "Make"; "scan" ] (Const 1)
+          "f-array snapshot scan: a single read of the root";
+        row [ "Hybrid_snapshot"; "Make"; "update" ] Log
+          "hybrid snapshot update: unboxed leaf write + boxed propagation";
+        row [ "Hybrid_snapshot"; "Make"; "scan" ] (Const 1)
+          "hybrid snapshot scan: a single read of the root" ];
+    recursion =
+      [ (* leaf-to-root walks: depth of a complete/B1 tree *)
+        ([ "Propagate"; "Make"; "up" ], Summary.Log);
+        ([ "Propagate"; "Unboxed"; "propagate" ], Summary.Log);
+        ([ "Propagate"; "Unboxed"; "propagate_metered_live" ], Summary.Log);
+        ([ "Aac_counter"; "Make"; "up" ], Summary.Log);
+        ([ "Hybrid_snapshot"; "Make"; "propagate" ], Summary.Log);
+        (* switch-tree descents: depth of the AAC / B1 partition tree *)
+        ([ "Aac_maxreg"; "Make"; "read_max" ], Summary.Log);
+        ([ "Aac_maxreg"; "Make"; "write" ], Summary.Log);
+        ([ "B1_maxreg"; "Make"; "read" ], Summary.Log);
+        ([ "B1_maxreg"; "Make"; "write" ], Summary.Log);
+        ([ "B1_maxreg"; "Unboxed"; "read" ], Summary.Log);
+        ([ "B1_maxreg"; "Unboxed"; "write" ], Summary.Log);
+        (* the Afek scan: a process observed moving twice yields a borrowed
+           embedded scan, so at most N+1 collects *)
+        ([ "Afek_snapshot"; "Make"; "loop" ], Summary.Linear) ];
+    const_bounds = [ ("refreshes", 2) ];
+    memory_params = [ "M"; "B"; "U" ];
+    instrumentation_roots = [ "Obs"; "Metrics" ] }
+
+let find t op = List.find_opt (fun r -> r.op = op) t.rows

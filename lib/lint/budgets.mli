@@ -1,0 +1,28 @@
+(** The declared step-complexity budgets (the static analogue of the
+    E1-E3 tables) plus the cost analysis's trusted annotations.  Growing
+    or loosening an entry is a reviewed change to budgets.ml. *)
+
+type row = {
+  op : string list;        (** qualified display path, e.g.
+                               [["Farray"; "Make"; "update"]] *)
+  budget : Summary.bound;  (** declared bound on total shared accesses *)
+  reason : string;         (** source of the bound, or why [Unbounded]
+                               is acceptable (the allowlist entry) *)
+}
+
+type t = {
+  rows : row list;
+  recursion : (string list * Summary.bound) list;
+  (** self-recursive functions with a geometry-bounded iteration count;
+      trusted only when each iteration re-reads shared state *)
+  const_bounds : (string * int) list;
+  (** identifiers usable as [for]-loop limits with a known constant
+      magnitude (e.g. [refreshes] = 2) *)
+  memory_params : string list;
+  (** functor-parameter names instantiated with MEMORY/MEMORY_INT *)
+  instrumentation_roots : string list;
+  (** call roots excluded from the model's accounting *)
+}
+
+val default : t
+val find : t -> string list -> row option

@@ -1,0 +1,49 @@
+(** Rule C1: the static step-complexity certifier.
+
+    Computes a per-function {!Summary.t} (shared reads / writes / CAS,
+    each a {!Summary.bound}) for every binding in the scanned units by
+    abstract interpretation over the typed trees — interprocedural via a
+    fixpoint over a global summary table — and checks each operation
+    declared in {!Budgets.rows} against its budget.  See cost.ml for
+    the cost model and the soundness argument. *)
+
+type status =
+  | Certified          (** within budget, same asymptotic class *)
+  | Improvable         (** certified strictly below the budget class *)
+  | Allowed_unbounded  (** Unbounded, with a reviewed Unbounded budget *)
+  | Tightenable        (** bounded, but the budget still says Unbounded *)
+  | Violation          (** certificate exceeds the budget *)
+  | Missing            (** budgeted operation not found *)
+
+val status_name : status -> string
+
+type op_report = {
+  op : string list;            (** qualified display path *)
+  file : string;               (** "" when the operation was not found *)
+  line : int;
+  summary : Summary.t option;  (** the certificate; [None] iff missing *)
+  budget : Summary.bound;
+  reason : string;
+  status : status;
+}
+
+type report = {
+  ops : op_report list;           (** one per {!Budgets.rows} entry *)
+  diagnostics : Diagnostic.t list;
+      (** violations and missing ops as errors; budget/certificate
+          mismatches as warnings *)
+}
+
+val analyze : budgets:Budgets.t -> Cmt_unit.t list -> report
+
+val summaries :
+  budgets:Budgets.t -> Cmt_unit.t list -> (string list * Summary.t) list
+(** Every computed summary, sorted by path — for tests and debugging. *)
+
+val to_json : units_scanned:int -> report -> Obs.Json_out.t
+(** Schema ["lint-cost/v1"]. *)
+
+val to_human : units_scanned:int -> report -> string
+
+val to_costs_md : report -> string
+(** The committed COSTS.md: one markdown table row per budgeted op. *)

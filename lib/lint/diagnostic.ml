@@ -1,20 +1,28 @@
+type severity = Error | Warn
+
 type t = {
   rule : string;
+  severity : severity;
   file : string;
   line : int;
   col : int;
   message : string;
 }
 
-let v ~rule ~loc message =
+(* Columns are 1-based in both renderings, matching what editors expect
+   of a file:line:col jump target (emacs/vim/vscode treat the first
+   character of a line as column 1). *)
+let v ?(severity = Error) ~rule ~loc message =
   let p = loc.Location.loc_start in
   { rule;
+    severity;
     file = p.Lexing.pos_fname;
     line = p.Lexing.pos_lnum;
-    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1;
     message }
 
-let at ~rule ~file ~line ~col message = { rule; file; line; col; message }
+let at ?(severity = Error) ~rule ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
 
 (* file, then position, then rule: output reads like compiler errors,
    grouped by file.  [compare] is also the dedup key (R3's loop scan can
@@ -32,12 +40,20 @@ let compare a b =
         let c = String.compare a.rule b.rule in
         if c <> 0 then c else String.compare a.message b.message
 
+let severity_name = function Error -> "error" | Warn -> "warn"
+
 let to_human d =
-  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+  match d.severity with
+  | Error ->
+    Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+  | Warn ->
+    Printf.sprintf "%s:%d:%d: [%s] warning: %s" d.file d.line d.col d.rule
+      d.message
 
 let to_json d =
   Obs.Json_out.Obj
     [ ("rule", Obs.Json_out.Str d.rule);
+      ("severity", Obs.Json_out.Str (severity_name d.severity));
       ("file", Obs.Json_out.Str d.file);
       ("line", Obs.Json_out.Int d.line);
       ("col", Obs.Json_out.Int d.col);

@@ -1,23 +1,33 @@
-(** A lint finding: rule id, source span, message.  Rendered either
-    compiler-style ([file:line:col: [R1] message], clickable in editors
-    and CI logs) or as a JSON object for machine consumers. *)
+(** A lint finding: rule id, severity, source span, message.  Rendered
+    either compiler-style ([file:line:col: [R1] message], clickable in
+    editors and CI logs) or as a JSON object for machine consumers. *)
+
+type severity =
+  | Error  (** flips the exit code *)
+  | Warn   (** reported, but never fails the run *)
 
 type t = {
   rule : string;
+  severity : severity;
   file : string;  (** repo-relative source path *)
   line : int;     (** 1-based *)
-  col : int;      (** 0-based, as compilers print it *)
+  col : int;      (** 1-based, consistent across human and JSON output
+                      (editor jump-to-location convention) *)
   message : string;
 }
 
-val v : rule:string -> loc:Location.t -> string -> t
-(** Diagnostic at the start of a typedtree location. *)
+val v : ?severity:severity -> rule:string -> loc:Location.t -> string -> t
+(** Diagnostic at the start of a typedtree location.  Severity defaults
+    to [Error]. *)
 
-val at : rule:string -> file:string -> line:int -> col:int -> string -> t
+val at :
+  ?severity:severity ->
+  rule:string -> file:string -> line:int -> col:int -> string -> t
 
 val compare : t -> t -> int
 (** Orders by file, position, rule, message — the output order and the
     dedup key. *)
 
+val severity_name : severity -> string
 val to_human : t -> string
 val to_json : t -> Obs.Json_out.t

@@ -5,13 +5,19 @@
 type report = {
   diagnostics : Diagnostic.t list;  (** sorted, deduplicated *)
   units_scanned : int;
+  cost : Cost.report option;        (** present when C1 ran *)
 }
 
 val all_rules : string list
-(** [["R1"; "R2"; "R3"; "R4"]] *)
+(** [["R1"; "R2"; "R3"; "R4"; "C1"]] *)
+
+val rule_descriptions : (string * string) list
+(** One line per rule, in [all_rules] order — the [--list-rules]
+    output. *)
 
 val run :
   ?config:Config.t ->
+  ?budgets:Budgets.t ->
   ?rules:string list ->
   build_dir:string ->
   root:string ->
@@ -19,11 +25,16 @@ val run :
   report
 (** [run ~build_dir ~root ()] lints the tree rooted at [root] using the
     [.cmt]s under [build_dir] (typically [_build/default]).  [config]
-    defaults to {!Config.default}; [rules] to {!all_rules}.  Unknown
-    rule names are ignored. *)
+    defaults to {!Config.default}, [budgets] to {!Budgets.default},
+    [rules] to {!all_rules}.  Unknown rule names are ignored. *)
+
+val errors : report -> Diagnostic.t list
+(** The [Error]-severity diagnostics: what fails the run. *)
+
+val has_errors : report -> bool
 
 val to_json : report -> Obs.Json_out.t
-(** Schema ["lint/v1"]. *)
+(** Schema ["lint/v1"]; [violations] counts errors only. *)
 
 val to_human : report -> string
 (** Compiler-style [file:line:col: [rule] message] lines plus a summary

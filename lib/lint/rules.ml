@@ -203,18 +203,13 @@ let r2 ~(config : Config.t) (u : Cmt_unit.t) =
       | Asttypes.Nonrecursive -> ()
       | Asttypes.Recursive ->
         let bound =
-          List.filter_map
-            (fun vb ->
-              match vb.vb_pat.pat_desc with
-              | Tpat_var (id, _) -> Some id
-              | _ -> None)
-            vbs
+          List.filter_map (fun vb -> Compat.pat_var_ident vb.vb_pat) vbs
         in
         let bound_names = List.map Ident.name bound in
         List.iter
           (fun vb ->
-            match vb.vb_pat.pat_desc with
-            | Tpat_var (id, _) ->
+            match Compat.pat_var_ident vb.vb_pat with
+            | Some id ->
               let self_call =
                 expr_mentions ~names:bound_names vb.vb_expr
               in
@@ -232,7 +227,7 @@ let r2 ~(config : Config.t) (u : Cmt_unit.t) =
                         re-reads shared state before retrying"
                        (Ident.name id))
                   :: !diags
-            | _ -> ())
+            | None -> ())
           vbs
     in
     walk_structure ~modname:u.modname ~on_expr ~on_vbs u.structure;
@@ -308,21 +303,15 @@ let r3_scan_alloc ~qual ~push e0 =
   in
   iter.expr iter e0
 
-(* The outer [fun a -> fun b -> ...] chain is the function's own
-   closure, built once at definition time; only what runs per call is
-   the hot path. *)
-let rec function_bodies e acc =
-  match e.exp_desc with
-  | Texp_function { cases; _ } ->
-    List.fold_left (fun acc c -> function_bodies c.c_rhs acc) acc cases
-  | _ -> e :: acc
-
 let r3_check_target ~(target : Config.r3_target) ~push vb =
   match target.mode with
   | Config.Body ->
+    (* the outer [fun a -> fun b -> ...] chain is the function's own
+       closure, built once at definition time; only what runs per call
+       is the hot path *)
     List.iter
       (r3_scan_alloc ~qual:target.qual ~push)
-      (function_bodies vb.vb_expr [])
+      (Compat.function_bodies vb.vb_expr [])
   | Config.Loops ->
     (* only the timed while/for bodies (and while conditions, which
        also run every iteration) must be allocation-free; setup and
@@ -347,8 +336,8 @@ let r3 ~(config : Config.t) (u : Cmt_unit.t) =
   let diags = ref [] in
   let push d = diags := d :: !diags in
   let on_vb ~mods vb =
-    match vb.vb_pat.pat_desc with
-    | Tpat_var (id, _) ->
+    match Compat.pat_var_ident vb.vb_pat with
+    | Some id ->
       let qual = mods @ [ Ident.name id ] in
       (match
          List.find_opt
@@ -357,7 +346,7 @@ let r3 ~(config : Config.t) (u : Cmt_unit.t) =
        with
        | Some target -> r3_check_target ~target ~push vb
        | None -> ())
-    | _ -> ()
+    | None -> ()
   in
   walk_structure ~modname:u.modname ~on_vb u.structure;
   !diags
@@ -383,7 +372,7 @@ let r4 ~(config : Config.t) ~root () =
             && not (Sys.file_exists (abs' ^ "i"))
           then
             diags :=
-              Diagnostic.at ~rule:"R4" ~file:rel' ~line:1 ~col:0
+              Diagnostic.at ~rule:"R4" ~file:rel' ~line:1 ~col:1
                 (Printf.sprintf
                    "module %s has no interface: add %si or a reviewed \
                     entry to Lint.Config.r4_allow"

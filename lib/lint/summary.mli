@@ -1,0 +1,64 @@
+(** The cost lattice of the step-complexity certifier (rule C1).
+
+    A {!bound} classifies the number of shared-memory accesses an
+    expression performs as a function of the structure size n:
+
+    {v Const k < Log < Polylog < Linear < Quadratic < Unbounded v}
+
+    [Const k] is exact; the asymptotic classes absorb constants;
+    [Unbounded] carries a witness naming the loop or call that defeated
+    the analysis.  The lattice is sound (never below the true cost) and
+    separates the paper's claims. *)
+
+type bound =
+  | Const of int        (** at most [k] accesses, always *)
+  | Log                 (** O(log n) *)
+  | Polylog             (** O(log^c n), c fixed — e.g. the AAC increment *)
+  | Linear              (** O(n) *)
+  | Quadratic           (** O(n^2) — the Afek et al. snapshot *)
+  | Unbounded of string (** not boundable; the witness says why *)
+
+val rank : bound -> int
+val le : bound -> bound -> bool
+
+val join : bound -> bound -> bound
+(** Branch: worst wins. *)
+
+val add : bound -> bound -> bound
+(** Sequence: constants add exactly. *)
+
+val scale : trips:bound -> bound -> bound
+(** [scale ~trips body]: cost of [trips] iterations of [body].  Zero-cost
+    bodies stay zero; products exceeding O(n^2) become [Unbounded]. *)
+
+val bound_to_string : bound -> string
+val class_name : bound -> string
+val bound_to_json : bound -> Obs.Json_out.t
+
+val envelope : n:int -> bound -> int option
+(** Concrete per-class ceiling at size [n], with explicit constants; the
+    static-vs-dynamic differential asserts observed solo step counts
+    never exceed it.  [None] for [Unbounded]. *)
+
+(** {1 Per-function summaries} *)
+
+type t = { reads : bound; writes : bound; cas : bound }
+
+val zero : t
+val one_read : t
+val one_write : t
+val one_cas : t
+
+val sum : t -> t -> t
+(** Sequential composition. *)
+
+val alt : t -> t -> t
+(** Branch join. *)
+
+val repeat : trips:bound -> t -> t
+val total : t -> bound
+val is_zero : t -> bool
+val unbounded : string -> t
+
+val to_string : t -> string
+val to_json : t -> Obs.Json_out.t

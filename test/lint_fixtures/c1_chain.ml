@@ -1,0 +1,11 @@
+(* C1 fixture: certificates flow through a helper chain -- [deep_read]
+   is two loads reached via two helpers; [deep_wide] doubles that past
+   its budget. *)
+
+let a = Atomic.make 0
+let b = Atomic.make 0
+
+let helper1 () = Atomic.get a
+let helper2 () = helper1 () + Atomic.get b
+let deep_read () = helper2 ()
+let deep_wide () = helper2 () + helper2 ()

@@ -1,0 +1,10 @@
+(* C1 fixture: [over] performs three atomic loads against a fixture
+   budget of two; [within] stays inside its (loose) budget. *)
+
+let r1 = Atomic.make 0
+let r2 = Atomic.make 0
+let r3 = Atomic.make 0
+
+let over () = Atomic.get r1 + Atomic.get r2 + Atomic.get r3
+
+let within () = Atomic.get r1 + Atomic.get r2

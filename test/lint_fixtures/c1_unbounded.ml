@@ -1,0 +1,16 @@
+(* C1 fixture: recursion the certifier must refuse -- [chase] has no
+   depth annotation; [blind_walk] is annotated but its iteration never
+   re-reads shared state (no progress witness). *)
+
+let cell = Atomic.make 0
+
+let rec chase () =
+  let v = Atomic.get cell in
+  if v > 0 then chase () else v
+
+let rec blind_walk n =
+  if n = 0 then ()
+  else begin
+    Atomic.set cell n;
+    blind_walk (n - 1)
+  end

@@ -1,0 +1,269 @@
+(* The static-vs-dynamic differential for the step-complexity certifier
+   (lib/lint/cost.ml, rule C1).
+
+   For every budgeted boxed operation, drive the real implementation
+   solo over the Memsim simulator (or explicit counting memories for the
+   hybrid snapshot, whose unboxed half is native) and check that the
+   observed shared-memory step count never exceeds
+   [Lint.Summary.envelope] of the operation's budgeted class — the
+   concrete ceiling the certificate promises.  A final coverage check
+   pins that every budget row is either measured here or on an explicit
+   skip list (Unbounded allowlist entries, the non-simulable unboxed
+   native backend, internal helpers exercised inside a measured op), so
+   a new budget row cannot silently dodge the differential. *)
+
+let n = 8
+let bound = 64
+
+(* Worst observed solo step count over a list of operations. *)
+let max_steps session thunks =
+  List.fold_left
+    (fun acc f ->
+      Memsim.Session.reset_steps session;
+      f ();
+      max acc (Memsim.Session.direct_steps session))
+    0 thunks
+
+let values = [ 1; 3; 7; 20; 41; 63 ]
+
+(* ------------------------------------------------------------------ *)
+(* Measurements: (op path, envelope size, observed max steps).  The
+   envelope size is the parameter the budget class ranges over: the
+   value bound for max registers and counters, the process count for
+   snapshots and the tree primitives. *)
+
+let maxreg_measurements impl prefix ~with_write =
+  let s = Memsim.Session.create () in
+  let inst = Harness.Instances.maxreg_sim s ~n ~bound impl in
+  let w =
+    max_steps s
+      (List.map
+         (fun v () -> inst.Maxreg.Max_register.write_max ~pid:(v mod n) v)
+         values)
+  in
+  let r =
+    max_steps s
+      (List.map
+         (fun _ () -> ignore (inst.Maxreg.Max_register.read_max ()))
+         values)
+  in
+  (prefix @ [ "read_max" ], bound, r)
+  :: (if with_write then [ (prefix @ [ "write_max" ], bound, w) ] else [])
+
+let counter_measurements impl prefix =
+  let s = Memsim.Session.create () in
+  let inst = Harness.Instances.counter_sim s ~n ~bound impl in
+  let incr =
+    max_steps s
+      (List.map
+         (fun i () -> inst.Counters.Counter.increment ~pid:(i mod n))
+         [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+  in
+  let read =
+    max_steps s
+      (List.map (fun _ () -> ignore (inst.Counters.Counter.read ())) [ 1; 2 ])
+  in
+  [ (prefix @ [ "increment" ], bound, incr);
+    (prefix @ [ "read" ], bound, read) ]
+
+let snapshot_measurements impl prefix ~with_scan =
+  let s = Memsim.Session.create () in
+  let inst = Harness.Instances.snapshot_sim s ~n impl in
+  let upd =
+    max_steps s
+      (List.map
+         (fun v () -> inst.Snapshots.Snapshot.update ~pid:(v mod n) v)
+         values)
+  in
+  let sc =
+    max_steps s
+      (List.map (fun _ () -> ignore (inst.Snapshots.Snapshot.scan ())) [ 1; 2 ])
+  in
+  (prefix @ [ "update" ], n, upd)
+  :: (if with_scan then [ (prefix @ [ "scan" ], n, sc) ] else [])
+
+let farray_measurements () =
+  let s = Memsim.Session.create () in
+  let module M = (val Smem.Sim_memory.bind s) in
+  let module F = Farray.Make (M) in
+  let fa = F.create ~n ~combine:Memsim.Simval.max_val () in
+  let upd =
+    max_steps s
+      (List.map
+         (fun v () -> F.update fa ~leaf:(v mod n) (Memsim.Simval.Int v))
+         values)
+  in
+  let rd = max_steps s [ (fun () -> ignore (F.read fa)) ] in
+  let rl = max_steps s [ (fun () -> ignore (F.read_leaf fa 0)) ] in
+  [ ([ "Farray"; "Make"; "update" ], n, upd);
+    ([ "Farray"; "Make"; "read" ], n, rd);
+    ([ "Farray"; "Make"; "read_leaf" ], n, rl) ]
+
+let propagate_measurements () =
+  let s = Memsim.Session.create () in
+  let module M = (val Smem.Sim_memory.bind s) in
+  let module P = Treeprim.Propagate.Make (M) in
+  let combine = Memsim.Simval.max_val in
+  let _root, leaves =
+    Treeprim.Tree_shape.complete
+      ~mk:(fun () -> M.make Memsim.Simval.Bot)
+      ~nleaves:n ()
+  in
+  let leaf = leaves.(0) in
+  let parent =
+    match leaf.Treeprim.Tree_shape.parent with
+    | Some p -> p
+    | None -> Alcotest.fail "complete tree of 8 leaves has no internal node"
+  in
+  M.write leaf.Treeprim.Tree_shape.data (Memsim.Simval.Int 5);
+  let refr = max_steps s [ (fun () -> P.refresh ~combine parent) ] in
+  let prop = max_steps s [ (fun () -> P.propagate ~combine leaf) ] in
+  [ ([ "Propagate"; "Make"; "refresh" ], n, refr);
+    ([ "Propagate"; "Make"; "propagate" ], n, prop) ]
+
+(* The hybrid snapshot mixes a boxed and an int memory, so count both
+   halves with explicit wrappers instead of a simulator session. *)
+let hybrid_measurements () =
+  let int_steps = ref 0 in
+  let module U = struct
+    let bot = Smem.Unboxed_memory.bot
+
+    type t = int Atomic.t
+
+    let make ?name v =
+      ignore name;
+      Atomic.make v
+
+    let read r =
+      incr int_steps;
+      Atomic.get r
+
+    let write r v =
+      incr int_steps;
+      Atomic.set r v
+
+    let cas r ~expected ~desired =
+      incr int_steps;
+      Atomic.compare_and_set r expected desired
+  end in
+  let bmem, counts = Smem.Counting_memory.wrap (module Smem.Atomic_memory) in
+  let module B = (val bmem) in
+  let module H = Snapshots.Hybrid_snapshot.Make (B) (U) in
+  let h = H.create ~n in
+  let measure thunks =
+    List.fold_left
+      (fun acc f ->
+        Smem.Counting_memory.reset counts;
+        int_steps := 0;
+        f ();
+        max acc (Smem.Counting_memory.total counts + !int_steps))
+      0 thunks
+  in
+  let upd =
+    measure (List.map (fun v () -> H.update h ~pid:(v mod n) v) values)
+  in
+  let sc = measure [ (fun () -> ignore (H.scan h)) ] in
+  [ ([ "Hybrid_snapshot"; "Make"; "update" ], n, upd);
+    ([ "Hybrid_snapshot"; "Make"; "scan" ], n, sc) ]
+
+let all_measurements () =
+  List.concat
+    [ maxreg_measurements Harness.Instances.Algorithm_a
+        [ "Algorithm_a"; "Make" ] ~with_write:true;
+      maxreg_measurements Harness.Instances.Aac_maxreg
+        [ "Aac_maxreg"; "Make" ] ~with_write:true;
+      maxreg_measurements Harness.Instances.B1_maxreg
+        [ "B1_maxreg"; "Make" ] ~with_write:true;
+      (* the CAS write retry loop is the Unbounded allowlist entry *)
+      maxreg_measurements Harness.Instances.Cas_maxreg
+        [ "Cas_maxreg"; "Make" ] ~with_write:false;
+      counter_measurements Harness.Instances.Naive_counter
+        [ "Naive_counter"; "Make" ];
+      counter_measurements Harness.Instances.Aac_counter
+        [ "Aac_counter"; "Make" ];
+      counter_measurements Harness.Instances.Farray_counter
+        [ "Farray_counter"; "Make" ];
+      (* the double-collect scan is the Unbounded allowlist entry *)
+      snapshot_measurements Harness.Instances.Double_collect
+        [ "Double_collect"; "Make" ] ~with_scan:false;
+      snapshot_measurements Harness.Instances.Afek
+        [ "Afek_snapshot"; "Make" ] ~with_scan:true;
+      snapshot_measurements Harness.Instances.Farray_snapshot
+        [ "Farray_snapshot"; "Make" ] ~with_scan:true;
+      farray_measurements ();
+      propagate_measurements ();
+      hybrid_measurements () ]
+
+(* ------------------------------------------------------------------ *)
+
+let qual op = String.concat "." op
+
+let test_dynamic_within_envelope () =
+  let measured = all_measurements () in
+  Alcotest.(check bool) "measurements ran" true (List.length measured > 20);
+  List.iter
+    (fun (op, size, steps) ->
+      match Lint.Budgets.find Lint.Budgets.default op with
+      | None -> Alcotest.failf "measured op %s has no budget row" (qual op)
+      | Some row -> (
+          match Lint.Summary.envelope ~n:size row.Lint.Budgets.budget with
+          | None ->
+            Alcotest.failf "%s measured against an Unbounded budget" (qual op)
+          | Some cap ->
+            if steps > cap then
+              Alcotest.failf
+                "%s: %d dynamic steps exceed the static envelope %d (%s)"
+                (qual op) steps cap
+                (Lint.Summary.bound_to_string row.Lint.Budgets.budget)))
+    measured
+
+(* The counting machinery itself: a naive-counter read really collects
+   all n cells, so a differential observing 0 steps would be vacuous. *)
+let test_counting_is_live () =
+  let s = Memsim.Session.create () in
+  let inst =
+    Harness.Instances.counter_sim s ~n ~bound Harness.Instances.Naive_counter
+  in
+  List.iter
+    (fun i -> inst.Counters.Counter.increment ~pid:(i mod n))
+    [ 0; 1; 2 ];
+  Memsim.Session.reset_steps s;
+  ignore (inst.Counters.Counter.read ());
+  Alcotest.(check bool) "naive read touches every cell" true
+    (Memsim.Session.direct_steps s >= n)
+
+(* Every budget row is either measured above or explicitly skip-listed,
+   so a new row cannot silently dodge the differential. *)
+let skip_reason op (row : Lint.Budgets.row) =
+  if List.mem "Unboxed" op then
+    Some "native backend (no simulator; same algorithm as the boxed twin)"
+  else
+    match row.budget with
+    | Lint.Summary.Unbounded _ -> Some "reviewed Unbounded allowlist entry"
+    | _ ->
+      if
+        op = [ "Double_collect"; "Make"; "collect" ]
+        || op = [ "Afek_snapshot"; "Make"; "collect" ]
+      then Some "internal helper, exercised inside the measured scan"
+      else None
+
+let test_coverage () =
+  let measured = List.map (fun (op, _, _) -> op) (all_measurements ()) in
+  List.iter
+    (fun (row : Lint.Budgets.row) ->
+      match skip_reason row.op row with
+      | Some _ -> ()
+      | None ->
+        if not (List.mem row.op measured) then
+          Alcotest.failf "budget row %s is neither measured nor skip-listed"
+            (qual row.op))
+    Lint.Budgets.default.rows
+
+let () =
+  Alcotest.run "cost-differential"
+    [ ( "differential",
+        [ Alcotest.test_case "dynamic <= static envelope" `Quick
+            test_dynamic_within_envelope;
+          Alcotest.test_case "counting is live" `Quick test_counting_is_live;
+          Alcotest.test_case "every budget row covered" `Quick test_coverage
+        ] ) ]

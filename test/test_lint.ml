@@ -33,7 +33,11 @@ let fixture_config =
       [ Lint.Config.Module_path [ "R1_split"; "Unboxed" ];
         (* whole-file allow, the shape the default config uses for
            lib/smem and lib/harness/throughput.ml *)
-        Lint.Config.Dir (fixture_dir ^ "/r1_dir_ok.ml") ];
+        Lint.Config.Dir (fixture_dir ^ "/r1_dir_ok.ml");
+        (* the C1 fixtures violate cost budgets, not containment *)
+        Lint.Config.Dir (fixture_dir ^ "/c1_over.ml");
+        Lint.Config.Dir (fixture_dir ^ "/c1_unbounded.ml");
+        Lint.Config.Dir (fixture_dir ^ "/c1_chain.ml") ];
     r2_dirs = [ fixture_dir ];
     r3_targets =
       [ { qual = [ "R3_bad"; "hot" ]; mode = Lint.Config.Body };
@@ -41,8 +45,36 @@ let fixture_config =
     r4_dirs = [ fixture_dir ];
     r4_allow = [] }
 
+(* The fixture budget table: each row names an op in a c1_* fixture.
+   [within]'s budget is deliberately a class too loose, so the run also
+   exercises the warn-severity "improvable" diagnostic. *)
+let fixture_budgets =
+  { Lint.Budgets.rows =
+      [ { op = [ "C1_over"; "over" ];
+          budget = Lint.Summary.Const 2;
+          reason = "fixture: two loads allowed" };
+        { op = [ "C1_over"; "within" ];
+          budget = Lint.Summary.Log;
+          reason = "fixture: deliberately loose" };
+        { op = [ "C1_unbounded"; "chase" ];
+          budget = Lint.Summary.Log;
+          reason = "fixture: claimed log bound, unannotated recursion" };
+        { op = [ "C1_unbounded"; "blind_walk" ];
+          budget = Lint.Summary.Log;
+          reason = "fixture: annotated recursion without a witness" };
+        { op = [ "C1_chain"; "deep_read" ];
+          budget = Lint.Summary.Const 4;
+          reason = "fixture: interprocedural chain fits" };
+        { op = [ "C1_chain"; "deep_wide" ];
+          budget = Lint.Summary.Const 3;
+          reason = "fixture: interprocedural chain exceeds" } ];
+    recursion = [ ([ "C1_unbounded"; "blind_walk" ], Lint.Summary.Log) ];
+    const_bounds = [];
+    memory_params = [];
+    instrumentation_roots = [] }
+
 let run_fixtures ?rules () =
-  Lint.Driver.run ~config:fixture_config ?rules
+  Lint.Driver.run ~config:fixture_config ~budgets:fixture_budgets ?rules
     ~build_dir:fixture_build_dir ~root:repo_root ()
 
 let by_rule rule (r : Lint.Driver.report) =
@@ -109,12 +141,99 @@ let test_r4_missing_interfaces () =
   let ds = by_rule "R4" (run_fixtures ~rules:[ "R4" ] ()) in
   let files = List.map (fun d -> d.Lint.Diagnostic.file) ds in
   Alcotest.(check (list string)) "r4 flags every fixture module"
-    [ fixture_dir ^ "/r1_bad.ml";
+    [ fixture_dir ^ "/c1_chain.ml";
+      fixture_dir ^ "/c1_over.ml";
+      fixture_dir ^ "/c1_unbounded.ml";
+      fixture_dir ^ "/r1_bad.ml";
       fixture_dir ^ "/r1_dir_ok.ml";
       fixture_dir ^ "/r1_split.ml";
       fixture_dir ^ "/r2_bad.ml";
       fixture_dir ^ "/r3_bad.ml" ]
     files
+
+(* ------------------------------------------------------------------ *)
+(* C1: the step-complexity certifier over the c1_* fixtures            *)
+
+let test_c1_violations () =
+  let r = run_fixtures ~rules:[ "C1" ] () in
+  let ds = by_rule "C1" r in
+  let errors =
+    List.filter
+      (fun d -> d.Lint.Diagnostic.severity = Lint.Diagnostic.Error)
+      ds
+  in
+  let places =
+    List.map
+      (fun d -> (d.Lint.Diagnostic.file, d.Lint.Diagnostic.line))
+      errors
+  in
+  (* deep_wide's 4 loads over its budget of 3; over's 3 loads over its
+     budget of 2; chase's unannotated recursion; blind_walk's refused
+     (witness-free) annotation *)
+  Alcotest.(check (list (pair string int)))
+    "c1 error sites"
+    [ (fixture_dir ^ "/c1_chain.ml", 11);
+      (fixture_dir ^ "/c1_over.ml", 8);
+      (fixture_dir ^ "/c1_unbounded.ml", 7);
+      (fixture_dir ^ "/c1_unbounded.ml", 11) ]
+    places
+
+let test_c1_warn_does_not_fail () =
+  let r = run_fixtures ~rules:[ "C1" ] () in
+  let warns =
+    List.filter
+      (fun d -> d.Lint.Diagnostic.severity = Lint.Diagnostic.Warn)
+      (by_rule "C1" r)
+  in
+  (* [within] is Const 2 under a Log budget: improvable, warn-only *)
+  Alcotest.(check (list (pair string int)))
+    "c1 warn sites"
+    [ (fixture_dir ^ "/c1_over.ml", 10) ]
+    (List.map
+       (fun d -> (d.Lint.Diagnostic.file, d.Lint.Diagnostic.line))
+       warns);
+  let errors_only =
+    List.filter
+      (fun (d : Lint.Diagnostic.t) -> d.severity = Lint.Diagnostic.Error)
+      r.diagnostics
+  in
+  Alcotest.(check bool) "warns excluded from errors" true
+    (List.length errors_only < List.length r.diagnostics)
+
+let test_c1_interprocedural_chain () =
+  let r = run_fixtures ~rules:[ "C1" ] () in
+  match r.cost with
+  | None -> Alcotest.fail "C1 run produced no cost report"
+  | Some c ->
+    let find op =
+      List.find_opt (fun (o : Lint.Cost.op_report) -> o.op = op) c.ops
+    in
+    (match find [ "C1_chain"; "deep_read" ] with
+     | Some { status = Lint.Cost.Certified; summary = Some s; _ } ->
+       (* exactly the two loads, counted through two helper frames *)
+       Alcotest.(check string) "deep_read total" "<= 2"
+         (Lint.Summary.bound_to_string (Lint.Summary.total s))
+     | _ -> Alcotest.fail "deep_read not certified");
+    (match find [ "C1_chain"; "deep_wide" ] with
+     | Some { status = Lint.Cost.Violation; summary = Some s; _ } ->
+       Alcotest.(check string) "deep_wide total" "<= 4"
+         (Lint.Summary.bound_to_string (Lint.Summary.total s))
+     | _ -> Alcotest.fail "deep_wide not a violation")
+
+let test_c1_cost_json_shape () =
+  let r = run_fixtures ~rules:[ "C1" ] () in
+  match r.cost with
+  | None -> Alcotest.fail "C1 run produced no cost report"
+  | Some c -> (
+    let j = Lint.Cost.to_json ~units_scanned:r.units_scanned c in
+    match Obs.Json_out.member "schema" j with
+    | Some (Obs.Json_out.Str "lint-cost/v1") -> (
+      match Obs.Json_out.member "ops" j with
+      | Some (Obs.Json_out.List ops) ->
+        Alcotest.(check int) "one entry per budget row" 6
+          (List.length ops)
+      | _ -> Alcotest.fail "ops array missing")
+    | _ -> Alcotest.fail "schema tag missing")
 
 (* Golden rendering: the full human report for the fixture tree, pinned
    in test/lint_fixtures/expected.golden.  Catches drift in message
@@ -174,6 +293,14 @@ let () =
            test_r3_hot_path_allocations;
          Alcotest.test_case "R4 missing interfaces" `Quick
            test_r4_missing_interfaces;
+         Alcotest.test_case "C1 budget violations" `Quick
+           test_c1_violations;
+         Alcotest.test_case "C1 warn severity" `Quick
+           test_c1_warn_does_not_fail;
+         Alcotest.test_case "C1 interprocedural chain" `Quick
+           test_c1_interprocedural_chain;
+         Alcotest.test_case "C1 cost json shape" `Quick
+           test_c1_cost_json_shape;
          Alcotest.test_case "golden human output" `Quick
            test_golden_human_output;
          Alcotest.test_case "json shape" `Quick test_json_shape ]);
