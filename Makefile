@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-all check lint cost tsan chaos adaptive bench bench-native experiments examples clean doc
+.PHONY: all build test test-all check lint cost tsan chaos adaptive dial bench bench-native experiments examples clean doc
 
 all: build
 
@@ -40,6 +40,7 @@ tsan:
 	dune exec test/test_native.exe
 	dune exec test/test_combining.exe
 	dune exec test/test_adaptive.exe
+	dune exec test/test_dial.exe
 	dune exec bin/bench.exe -- --quick --max-domains 2 -o /tmp/tsan-bench.json
 
 # adaptive-dispatch smoke: the policy/differential/parallel suite plus
@@ -53,6 +54,13 @@ chaos:
 	dune exec bin/stress.exe -- --impl algorithm-a --procs 3 --readers 2 --fault-sweep
 	dune exec bin/stress.exe -- --impl cas-loop --procs 3 --readers 1 --fault-sweep
 	dune exec bin/stress.exe -- --chaos 42
+
+# tradeoff-dial family: differential/parallel tests, per-dial cost
+# certification, and the frontier sweep (steps + throughput)
+dial:
+	dune exec test/test_dial.exe
+	dune exec test/test_cost.exe
+	dune exec bin/bench.exe -- --dial --quick --max-domains 2 -o /tmp/dial-bench.json
 
 bench:
 	dune exec bench/main.exe

@@ -62,8 +62,17 @@ type delta = {
   ratio : float;  (* current / baseline *)
 }
 
+type diff_result = {
+  matched : delta list;
+  dup_keys : string list;
+  baseline_only : string list;
+  current_only : string list;
+  bad_baseline : string list;
+}
+
 let diff ~baseline ~current =
   let tbl = Hashtbl.create (max 16 (2 * List.length baseline)) in
+  let seen = Hashtbl.create 16 in
   let dups = ref [] in
   List.iter
     (fun b ->
@@ -71,16 +80,38 @@ let diff ~baseline ~current =
       if Hashtbl.mem tbl k then dups := key_name b :: !dups
       else Hashtbl.add tbl k b)
     baseline;
+  (* every row unmatched on either side is reported, not skipped: a
+     baseline-only row means coverage silently shrank, a current-only
+     row means the baseline predates the cell — both are exactly the
+     cases a human diffing trajectories wants flagged *)
+  let cur_only = ref [] in
+  let bad = ref [] in
   let deltas =
     List.filter_map
       (fun c ->
         match Hashtbl.find_opt tbl (key c) with
         | Some b when Float.is_finite b.mops && b.mops > 0. ->
+          Hashtbl.replace seen (key c) ();
           Some { cur = c; base_mops = b.mops; ratio = c.mops /. b.mops }
-        | _ -> None)
+        | Some _ ->
+          Hashtbl.replace seen (key c) ();
+          bad := key_name c :: !bad;
+          None
+        | None ->
+          cur_only := key_name c :: !cur_only;
+          None)
       current
   in
-  (deltas, List.rev !dups)
+  let base_only =
+    Hashtbl.fold
+      (fun k b acc -> if Hashtbl.mem seen k then acc else key_name b :: acc)
+      tbl []
+  in
+  { matched = deltas;
+    dup_keys = List.rev !dups;
+    baseline_only = List.sort compare base_only;
+    current_only = List.rev !cur_only;
+    bad_baseline = List.rev !bad }
 
 (* Flag threshold: a quarter off the baseline.  Of the same order as the
    rsd flag in {!Bench_native} — tighter than the noise floor would just
@@ -107,12 +138,35 @@ let analyze ?(threshold = default_threshold) ~baseline ~current () =
    | None -> warn "no schema field; matching rows anyway");
   let base = entries_of_doc baseline in
   let cur = entries_of_doc current in
-  let deltas, dups = diff ~baseline:base ~current:cur in
+  let d = diff ~baseline:base ~current:cur in
+  let deltas = d.matched in
   List.iter
     (fun k ->
       warn
         (Printf.sprintf "duplicate baseline key %s; first occurrence wins" k))
-    dups;
+    d.dup_keys;
+  (* asymmetric rows: visible, warn-only.  Summarized past a handful so
+     a v3 baseline diffed against a v4 run (a whole backend column of
+     new rows) stays readable. *)
+  let warn_keys what keys =
+    match keys with
+    | [] -> ()
+    | _ ->
+      let n = List.length keys in
+      let shown, rest =
+        if n <= 6 then (keys, 0)
+        else (List.filteri (fun i _ -> i < 6) keys, n - 6)
+      in
+      warn
+        (Printf.sprintf "%d row(s) %s: %s%s" n what
+           (String.concat ", " shown)
+           (if rest = 0 then "" else Printf.sprintf " … and %d more" rest))
+  in
+  warn_keys "only in the baseline (cell no longer measured)" d.baseline_only;
+  warn_keys "only in the current run (no baseline to diff against)"
+    d.current_only;
+  warn_keys "with unusable baseline mops (zero or non-finite)"
+    d.bad_baseline;
   { warnings = List.rev !warnings;
     baseline_rows = List.length base;
     current_rows = List.length cur;

@@ -30,18 +30,32 @@ val entries_of_doc : Json_out.t -> entry list
 (** The well-formed members of a trajectory's ["rows"]; rows missing a
     key field are skipped. *)
 
-val diff :
-  baseline:entry list -> current:entry list -> delta list * string list
-(** Current entries that match a baseline entry with finite positive
-    [mops], plus one rendered key per duplicated baseline key (the
-    first occurrence of a duplicated key is the one matched). *)
+type diff_result = {
+  matched : delta list;
+      (** current entries matching a baseline entry with finite
+          positive [mops] *)
+  dup_keys : string list;
+      (** duplicated baseline keys (first occurrence wins) *)
+  baseline_only : string list;
+      (** baseline keys with no current row — coverage shrank *)
+  current_only : string list;
+      (** current keys with no baseline row — new cells *)
+  bad_baseline : string list;
+      (** matched keys whose baseline [mops] is zero or non-finite *)
+}
+
+val diff : baseline:entry list -> current:entry list -> diff_result
+(** One pass over each side; every row unmatched on either side is
+    reported in the result (and surfaced as an {!analysis} warning),
+    never silently skipped. *)
 
 val default_threshold : float
 (** 0.25 — the same order as the rsd flag; tighter would cry wolf. *)
 
 type analysis = {
   warnings : string list;
-      (** schema surprises and duplicate baseline keys *)
+      (** schema surprises, duplicate baseline keys, and asymmetric
+          rows (baseline-only / current-only / unusable-mops) *)
   baseline_rows : int;
   current_rows : int;
   deltas : delta list;  (** the matched rows *)

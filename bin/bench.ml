@@ -15,7 +15,41 @@
 
 open Cmdliner
 
-let run quick out baseline max_domains seconds trials read_shares =
+(* --dial: the tradeoff-dial sweep instead of the backend sweep.  The
+   certified step ceilings printed next to the measured solo steps come
+   from the same budget functions the C1 certifier enforces, so the
+   table is "measured frontier vs certified envelope" line by line. *)
+let run_dial quick out max_domains seconds trials read_shares =
+  let cfg =
+    Benchkit.Bench_dial.config ~quick ~max_domains ?seconds ?trials
+      ~read_shares ()
+  in
+  let steps = Benchkit.Bench_dial.steps_rows ~n:cfg.Benchkit.Bench_dial.n in
+  let envelope dial =
+    let n = cfg.Benchkit.Bench_dial.n in
+    let f = Treeprim.Dial.width ~n dial in
+    let env b =
+      match Lint.Summary.envelope ~n b with Some e -> e | None -> max_int
+    in
+    ( env (Lint.Budgets.dial_read_budget ~f ~n),
+      env (Lint.Budgets.dial_update_budget ~f ~n) )
+  in
+  print_string
+    (Benchkit.Bench_dial.steps_table ~envelope ~n:cfg.Benchkit.Bench_dial.n
+       steps);
+  print_newline ();
+  let rows =
+    Benchkit.Bench_dial.sweep
+      ~progress:(fun what -> Printf.eprintf "bench: %s\n%!" what)
+      cfg
+  in
+  print_string (Benchkit.Bench_dial.table rows);
+  let doc = Benchkit.Bench_dial.to_json ~cfg ~steps rows in
+  let out = if out = "BENCH_NATIVE.json" then "BENCH_DIAL.json" else out in
+  Benchkit.Json_out.to_file out doc;
+  Printf.printf "\nwrote %s (%d rows)\n" out (List.length rows)
+
+let run_backends quick out baseline max_domains seconds trials read_shares =
   let cfg =
     Benchkit.Bench_native.config ~quick ~max_domains ?seconds ?trials
       ~read_shares ()
@@ -44,6 +78,19 @@ let run quick out baseline max_domains seconds trials read_shares =
        Printf.eprintf "bench: cannot read baseline: %s\n" msg
      | exception Benchkit.Json_out.Parse_error msg ->
        Printf.eprintf "bench: baseline %s does not parse: %s\n" file msg)
+
+let run dial quick out baseline max_domains seconds trials read_shares =
+  if dial then run_dial quick out max_domains seconds trials read_shares
+  else run_backends quick out baseline max_domains seconds trials read_shares
+
+let dial =
+  Arg.(value & flag
+       & info [ "dial" ]
+           ~doc:
+             "Run the tradeoff-dial sweep (Dial_counter at every dial \
+              point: exact solo steps vs the certified envelope, then a \
+              throughput sweep) instead of the backend sweep.  Writes \
+              BENCH_DIAL.json unless --out is given.")
 
 let quick =
   Arg.(value & flag
@@ -87,7 +134,7 @@ let cmd =
        ~doc:
          "Domain-scaling throughput of the boxed, unboxed, flat-combining \
           and contention-adaptive native backends (PODC'14 reproduction).")
-    Term.(const run $ quick $ out $ baseline $ max_domains $ seconds $ trials
-          $ read_shares)
+    Term.(const run $ dial $ quick $ out $ baseline $ max_domains $ seconds
+          $ trials $ read_shares)
 
 let () = exit (Cmd.eval cmd)

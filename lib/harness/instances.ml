@@ -516,3 +516,60 @@ let counter_native_adaptive_metered ~metrics ~n ~domains ~bound impl :
           Adaptive.Naive_c.arena t,
           fun () -> Adaptive.Naive_c.report t )
     | Aac_counter | Snapshot_counter _ -> None
+
+(* {1 Tradeoff-dial constructors}
+
+   The Dial_counter / Dial_maxreg family (DESIGN.md §15) is keyed by a
+   {!Treeprim.Dial.t} rather than a [counter_impl] case: a dial point is
+   a parameter of one construction, not a new algorithm, and threading
+   it through the impl enums would force every all_counters consumer
+   (liveness matrices, DPOR sweeps, repro experiments) through four more
+   rows.  The boxed [_over]/[_sim] constructors run the family under
+   Memsim, DPOR and the fault layer; the [_native_dial] ones are the
+   zero-alloc unboxed twins, with [_metered] variants mirroring the
+   other native constructors (a disabled handle returns the
+   uninstrumented instance). *)
+
+let counter_dial_over (module M : Smem.Memory_intf.MEMORY) ~n dial :
+    Counters.Counter.instance =
+  let module C = Counters.Dial_counter.Make (M) in
+  Counters.Counter.instantiate (module C) (C.create ~n ~dial)
+
+let counter_dial_sim session ~n dial =
+  counter_dial_over (Smem.Sim_memory.bind session) ~n dial
+
+let maxreg_dial_over (module M : Smem.Memory_intf.MEMORY) ~n dial :
+    Maxreg.Max_register.instance =
+  let module A = Maxreg.Dial_maxreg.Make (M) in
+  Maxreg.Max_register.instantiate (module A) (A.create ~n ~dial)
+
+let maxreg_dial_sim session ~n dial =
+  maxreg_dial_over (Smem.Sim_memory.bind session) ~n dial
+
+let counter_native_dial ~n dial : Counters.Counter.instance =
+  let module C = Counters.Dial_counter.Unboxed in
+  Counters.Counter.instantiate (module C) (C.create ~n ~dial ())
+
+let maxreg_native_dial ~n dial : Maxreg.Max_register.instance =
+  let module A = Maxreg.Dial_maxreg.Unboxed in
+  Maxreg.Max_register.instantiate (module A) (A.create ~n ~dial ())
+
+let counter_native_dial_metered ~metrics ~n dial :
+    Counters.Counter.instance =
+  if not (Obs.Metrics.enabled metrics) then counter_native_dial ~n dial
+  else
+    let module C = Counters.Dial_counter.Unboxed in
+    let c = C.create ~n ~dial () in
+    meter_counter ~metrics
+      { increment = (fun ~pid -> C.increment_metered c ~metrics ~pid);
+        read = (fun () -> C.read c) }
+
+let maxreg_native_dial_metered ~metrics ~n dial :
+    Maxreg.Max_register.instance =
+  if not (Obs.Metrics.enabled metrics) then maxreg_native_dial ~n dial
+  else
+    let module A = Maxreg.Dial_maxreg.Unboxed in
+    let reg = A.create ~n ~dial () in
+    meter_maxreg ~metrics
+      { read_max = (fun () -> A.read_max reg);
+        write_max = (fun ~pid v -> A.write_max_metered reg ~metrics ~pid v) }

@@ -254,3 +254,41 @@ val counter_native_adaptive_metered :
   n:int -> domains:int -> bound:int -> counter_impl ->
   (Counters.Counter.instance * Smem.Combine.t * (unit -> Adaptive.report))
   option
+
+(** {1 Tradeoff-dial constructors}
+
+    The {!Counters.Dial_counter} / {!Maxreg.Dial_maxreg} family, keyed
+    by a {!Treeprim.Dial.t} dial point rather than an impl enum case (a
+    dial is a parameter of one construction, not a new algorithm).  The
+    boxed [_over]/[_sim] constructors run every dial point under Memsim,
+    DPOR and the fault layer; [_native_dial] builds the zero-alloc
+    unboxed twin, and [_metered] mirrors the other native constructors
+    (a disabled handle returns the uninstrumented instance). *)
+
+val counter_dial_over :
+  (module Smem.Memory_intf.MEMORY) ->
+  n:int -> Treeprim.Dial.t -> Counters.Counter.instance
+
+val counter_dial_sim :
+  Memsim.Session.t -> n:int -> Treeprim.Dial.t -> Counters.Counter.instance
+
+val maxreg_dial_over :
+  (module Smem.Memory_intf.MEMORY) ->
+  n:int -> Treeprim.Dial.t -> Maxreg.Max_register.instance
+
+val maxreg_dial_sim :
+  Memsim.Session.t -> n:int -> Treeprim.Dial.t -> Maxreg.Max_register.instance
+
+val counter_native_dial :
+  n:int -> Treeprim.Dial.t -> Counters.Counter.instance
+
+val maxreg_native_dial :
+  n:int -> Treeprim.Dial.t -> Maxreg.Max_register.instance
+
+val counter_native_dial_metered :
+  metrics:Obs.Metrics.t ->
+  n:int -> Treeprim.Dial.t -> Counters.Counter.instance
+
+val maxreg_native_dial_metered :
+  metrics:Obs.Metrics.t ->
+  n:int -> Treeprim.Dial.t -> Maxreg.Max_register.instance

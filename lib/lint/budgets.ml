@@ -120,6 +120,39 @@ let default =
           "metered increment: instrumentation excluded from the model";
         row [ "Farray_counter"; "Unboxed"; "read" ] (Const 2)
           "f-array counter read (unboxed): one atomic load";
+        (* the tradeoff-dial family (Theorem 1's frontier).  The static
+           rows certify the worst case over the dial — read = Theta(f)
+           <= N block-root reads, increment = O(log(N/f)) <= O(log N) —
+           and the per-dial refinement (Const/Log/Sqrt/Linear as f
+           moves) is [dial_read_budget]/[dial_update_budget] below,
+           enforced dynamically by the test_cost differential. *)
+        row [ "Dial_counter"; "Make"; "read" ] Linear
+          "dial counter read: collect of the f <= N block roots";
+        row [ "Dial_counter"; "Make"; "increment" ] Log
+          "dial counter increment: in-block propagation, O(log(N/f)) \
+           <= O(log N)";
+        row [ "Dial_counter"; "Unboxed"; "read" ] Linear
+          "dial counter read (unboxed): f <= N block-root loads";
+        row [ "Dial_counter"; "Unboxed"; "increment" ] Log
+          "dial counter increment (unboxed): O(log(N/f))";
+        row [ "Dial_counter"; "Unboxed"; "add" ] Log
+          "batched dial increment: one leaf update + one in-block \
+           propagation";
+        row [ "Dial_counter"; "Unboxed"; "increment_metered" ] Log
+          "metered dial increment: instrumentation excluded from the \
+           model";
+        row [ "Dial_maxreg"; "Make"; "read_max" ] Linear
+          "dial max register ReadMax: collect of the f <= N block roots";
+        row [ "Dial_maxreg"; "Make"; "write_max" ] Log
+          "dial max register WriteMax: in-block propagation, \
+           O(log(N/f)) <= O(log N)";
+        row [ "Dial_maxreg"; "Unboxed"; "read_max" ] Linear
+          "dial max register ReadMax (unboxed): f <= N block-root loads";
+        row [ "Dial_maxreg"; "Unboxed"; "write_max" ] Log
+          "dial max register WriteMax (unboxed): O(log(N/f))";
+        row [ "Dial_maxreg"; "Unboxed"; "write_max_metered" ] Log
+          "metered dial WriteMax: instrumentation excluded from the \
+           model";
         (* f-array (Theorem 1's optimal point) *)
         row [ "Farray"; "Make"; "read" ] (Const 1)
           "f-array read: a single read of the root";
@@ -196,3 +229,26 @@ let default =
     instrumentation_roots = [ "Obs"; "Metrics" ] }
 
 let find t op = List.find_opt (fun r -> r.op = op) t.rows
+
+(* {1 Dial-parametric budgets}
+
+   The static rows above certify the dial family's worst case over all
+   dial points; these refine per point.  [f] and [n] are raw ints (the
+   dial's width and the process count) so the lint library needs no
+   dependency on the structure libraries — callers pass
+   [Treeprim.Dial.width ~n dial].  The classes are exactly Theorem 1's
+   frontier: read Theta(f), update O(log(N/f)); at the extremes they
+   collapse to the Farray_counter / Naive_counter rows. *)
+
+let dial_read_budget ~f ~n =
+  if f >= n then Summary.Linear
+  else if f <= 1 then Summary.Const 2
+  else
+    (* ceil_log2 n, locally: Log covers the F_log point, Sqrt the rest
+       of the sublinear interior (f = ceil(sqrt n) in particular) *)
+    let rec lg d v = if v >= n then d else lg (d + 1) (2 * v) in
+    if f <= lg 0 1 then Summary.Log else Summary.Sqrt
+
+let dial_update_budget ~f ~n =
+  if f >= n then Summary.Const 2 (* single-leaf block: read + write *)
+  else Summary.Log

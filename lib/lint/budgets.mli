@@ -26,3 +26,15 @@ type t = {
 
 val default : t
 val find : t -> string list -> row option
+
+(** {1 Dial-parametric budgets}
+
+    Per-dial refinement of the [Dial_counter]/[Dial_maxreg] static rows
+    (which certify the worst case over the dial): read Theta(f), update
+    O(log(N/f)).  [f] is the dial's width ({!Treeprim.Dial.width}) and
+    [n] the process count — raw ints, so lint does not depend on the
+    structure libraries.  Enforced dynamically by the test_cost
+    differential and rendered as COSTS.md's dial table. *)
+
+val dial_read_budget : f:int -> n:int -> Summary.bound
+val dial_update_budget : f:int -> n:int -> Summary.bound

@@ -56,6 +56,8 @@ let default =
         Module_path [ "Farray"; "Unboxed" ];
         Module_path [ "Naive_counter"; "Unboxed" ];
         Module_path [ "Farray_counter"; "Unboxed" ];
+        Module_path [ "Dial_counter"; "Unboxed" ];
+        Module_path [ "Dial_maxreg"; "Unboxed" ];
         Module_path [ "Propagate"; "Unboxed" ];
         (* chaos injection primitives: cpu_relax storms, DLS-keyed
            deterministic dice, domain spawning and the shared stamp
@@ -104,6 +106,14 @@ let default =
         { qual = [ "Farray_counter"; "Unboxed"; "increment_metered" ];
           mode = Body };
         { qual = [ "Farray_counter"; "Unboxed"; "read" ]; mode = Body };
+        { qual = [ "Dial_counter"; "Unboxed"; "increment" ]; mode = Body };
+        { qual = [ "Dial_counter"; "Unboxed"; "increment_metered" ];
+          mode = Body };
+        { qual = [ "Dial_counter"; "Unboxed"; "read" ]; mode = Body };
+        { qual = [ "Dial_maxreg"; "Unboxed"; "read_max" ]; mode = Body };
+        { qual = [ "Dial_maxreg"; "Unboxed"; "write_max" ]; mode = Body };
+        { qual = [ "Dial_maxreg"; "Unboxed"; "write_max_metered" ];
+          mode = Body };
         { qual = [ "Propagate"; "Unboxed"; "child_value" ]; mode = Body };
         { qual = [ "Propagate"; "Unboxed"; "refresh" ]; mode = Body };
         { qual = [ "Propagate"; "Unboxed"; "propagate" ]; mode = Body };

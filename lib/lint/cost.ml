@@ -767,4 +767,36 @@ let to_costs_md r =
     "\nUnbounded budgets are the reviewed allowlist (deliberately \
      non-wait-free baselines); their reasons live in \
      `lib/lint/budgets.ml`.\n";
+  (* The dial family's per-point refinement.  The static rows above
+     certify the worst case over the dial (read Linear, update Log);
+     the table below is Theorem 1's frontier point by point, generated
+     from Budgets.dial_read_budget/dial_update_budget and enforced
+     dynamically by the test_cost differential. *)
+  Buffer.add_string b
+    "\n## Dial family (Theorem 1's frontier, per dial point)\n\n\
+     `Dial_counter`/`Dial_maxreg` group the N leaves into f blocks of \
+     ceil(N/f); read collects the f block roots, an update propagates \
+     only inside its own block.  Per-dial budgets (f values shown at \
+     N = 64):\n\n\
+     | dial | f(N) | f @ N=64 | read / read_max | increment / write_max \
+     |\n|---|---|---|---|---|\n";
+  let n = 64 in
+  let rec lg d v = if v >= n then d else lg (d + 1) (2 * v) in
+  let rec isqrt k = if k * k >= n then k else isqrt (k + 1) in
+  List.iter
+    (fun (dial, fsym, f) ->
+      Buffer.add_string b
+        (Printf.sprintf "| `%s` | %s | %d | %s | %s |\n" dial fsym f
+           (Summary.bound_to_string (Budgets.dial_read_budget ~f ~n))
+           (Summary.bound_to_string (Budgets.dial_update_budget ~f ~n))))
+    [ ("f1", "1", 1);
+      ("flog", "ceil(log2 N)", lg 0 1);
+      ("fsqrt", "ceil(sqrt N)", isqrt 0);
+      ("fn", "N", n) ];
+  Buffer.add_string b
+    "\nThe `f1` point coincides with `Farray_counter` (read O(1), \
+     update O(log N)) and `fn` with `Naive_counter` (read O(N), update \
+     O(1)); `flog` and `fsqrt` are the interior points the dial \
+     exists to exercise.  The dynamic differential (test/test_cost.ml) \
+     measures every point against these envelopes.\n";
   Buffer.contents b

@@ -6,11 +6,14 @@
    (number of processes, register bound, or tree width — whichever the
    paper's bound for that operation is stated in):
 
-     Const k  <  Log  <  Polylog  <  Linear  <  Quadratic  <  Unbounded
+     Const k  <  Log  <  Polylog  <  Sqrt  <  Linear  <  Quadratic  <  Unbounded
 
    [Const k] is exact ("at most k accesses, always"); the asymptotic
    classes absorb constants.  [Polylog] covers O(log^c n) for any fixed c
-   (the AAC counter's O(log N * log B) increment lands here); [Unbounded]
+   (the AAC counter's O(log N * log B) increment lands here); [Sqrt] is
+   O(sqrt n) — the interior of Theorem 1's frontier, where the dial
+   family's f = ceil(sqrt N) read lands (sqrt n dominates every polylog,
+   hence its place above [Polylog]); [Unbounded]
    carries a witness string saying which loop or call defeated the
    analysis — a lock-free retry loop, an unannotated recursion, a closure
    escaping into unanalyzed code.
@@ -23,6 +26,7 @@ type bound =
   | Const of int
   | Log
   | Polylog
+  | Sqrt
   | Linear
   | Quadratic
   | Unbounded of string
@@ -31,9 +35,10 @@ let rank = function
   | Const _ -> 0
   | Log -> 1
   | Polylog -> 2
-  | Linear -> 3
-  | Quadratic -> 4
-  | Unbounded _ -> 5
+  | Sqrt -> 3
+  | Linear -> 4
+  | Quadratic -> 5
+  | Unbounded _ -> 6
 
 let le a b =
   match a, b with
@@ -68,7 +73,10 @@ let scale ~trips body =
   | Const _, b -> b
   | t, Const _ -> t
   | (Log | Polylog), (Log | Polylog) -> Polylog
+  (* sqrt n * sqrt n = n; sqrt n * polylog n = o(n) — both Linear *)
+  | Sqrt, (Log | Polylog | Sqrt) | (Log | Polylog), Sqrt -> Linear
   | (Log | Polylog), Linear | Linear, (Log | Polylog) -> Quadratic
+  | Sqrt, Linear | Linear, Sqrt -> Quadratic
   | Linear, Linear -> Quadratic
   | Quadratic, _ | _, Quadratic ->
     Unbounded "product of bounds exceeds the O(n^2) lattice"
@@ -77,6 +85,7 @@ let bound_to_string = function
   | Const k -> Printf.sprintf "<= %d" k
   | Log -> "O(log n)"
   | Polylog -> "O(log^2 n)"
+  | Sqrt -> "O(sqrt n)"
   | Linear -> "O(n)"
   | Quadratic -> "O(n^2)"
   | Unbounded w -> Printf.sprintf "unbounded (%s)" w
@@ -85,6 +94,7 @@ let class_name = function
   | Const _ -> "const"
   | Log -> "log"
   | Polylog -> "polylog"
+  | Sqrt -> "sqrt"
   | Linear -> "linear"
   | Quadratic -> "quadratic"
   | Unbounded _ -> "unbounded"
@@ -113,6 +123,9 @@ let envelope ~n b =
   | Const k -> Some k
   | Log -> Some (16 * (lg n + 2))
   | Polylog -> Some (16 * (lg n + 2) * (lg n + 2))
+  | Sqrt ->
+    let rec isqrt k = if k * k >= n then k else isqrt (k + 1) in
+    Some (16 * (isqrt 0 + 2))
   | Linear -> Some (8 * (n + 2))
   | Quadratic -> Some (8 * (n + 2) * (n + 2))
   | Unbounded _ -> None

@@ -3,7 +3,7 @@
     A {!bound} classifies the number of shared-memory accesses an
     expression performs as a function of the structure size n:
 
-    {v Const k < Log < Polylog < Linear < Quadratic < Unbounded v}
+    {v Const k < Log < Polylog < Sqrt < Linear < Quadratic < Unbounded v}
 
     [Const k] is exact; the asymptotic classes absorb constants;
     [Unbounded] carries a witness naming the loop or call that defeated
@@ -14,6 +14,7 @@ type bound =
   | Const of int        (** at most [k] accesses, always *)
   | Log                 (** O(log n) *)
   | Polylog             (** O(log^c n), c fixed — e.g. the AAC increment *)
+  | Sqrt                (** O(sqrt n) — the dial family's interior read *)
   | Linear              (** O(n) *)
   | Quadratic           (** O(n^2) — the Afek et al. snapshot *)
   | Unbounded of string (** not boundable; the witness says why *)

@@ -1,0 +1,91 @@
+(* The tradeoff-dial max register: the Dial_counter geometry with a max
+   aggregate.  f(N) blocks of ceil(N/f) single-writer leaves, each block
+   a max f-array: ReadMax collects the f block roots in Theta(f) steps,
+   WriteMax writes the caller's leaf and propagates only inside its own
+   block in O(log(N/f)) steps.  The monotone aggregate keeps the CAS
+   propagation ABA-free (values never recur at a node).
+
+   A thin sibling of Dial_counter: it exists so the maxreg half of the
+   paper's tradeoff (Theorem 6 territory) can be swept across the same
+   frontier the counter traces. *)
+
+open Memsim
+
+module Make (M : Smem.Memory_intf.MEMORY) = struct
+  module F = Farray.Make (M)
+
+  type t = { blocks : F.t array; bsize : int }
+
+  let create ~n ~dial =
+    if n <= 0 then invalid_arg "Dial_maxreg.create: n must be > 0";
+    let bsize = Treeprim.Dial.block_size ~n dial in
+    let nblocks = (n + bsize - 1) / bsize in
+    { blocks =
+        Array.init nblocks (fun b ->
+            F.create
+              ~n:(min bsize (n - (b * bsize)))
+              ~combine:Simval.max_val ());
+      bsize }
+
+  let read_max t =
+    let best = ref 0 in
+    for b = 0 to Array.length t.blocks - 1 do
+      let v = Simval.int_or ~default:0 (F.read t.blocks.(b)) in
+      if v > !best then best := v
+    done;
+    !best
+
+  let write_max t ~pid v =
+    if v < 0 then invalid_arg "Dial_maxreg.write_max: negative value";
+    let fa = t.blocks.(pid / t.bsize) in
+    let leaf = pid mod t.bsize in
+    let cur = Simval.int_or ~default:0 (F.read_leaf fa leaf) in
+    if v > cur then F.update fa ~leaf (Simval.Int v)
+end
+
+(* The zero-alloc native twin over {!Farray.Unboxed} blocks; the [bot]
+   sentinel reads as 0 (the register's initial value — values are
+   non-negative). *)
+module Unboxed = struct
+  module F = Farray.Unboxed
+
+  type t = { blocks : F.t array; bsize : int }
+
+  let bot = F.bot
+
+  let mx a b = max (if a = bot then 0 else a) (if b = bot then 0 else b)
+
+  let create ?(padded = true) ~n ~dial () =
+    if n <= 0 then invalid_arg "Dial_maxreg.create: n must be > 0";
+    let bsize = Treeprim.Dial.block_size ~n dial in
+    let nblocks = (n + bsize - 1) / bsize in
+    { blocks =
+        Array.init nblocks (fun b ->
+            F.create ~padded ~n:(min bsize (n - (b * bsize))) ~combine:mx ());
+      bsize }
+
+  let read_max t =
+    let best = ref 0 in
+    for b = 0 to Array.length t.blocks - 1 do
+      let v = F.read t.blocks.(b) in
+      let v = if v = bot then 0 else v in
+      if v > !best then best := v
+    done;
+    !best
+
+  let write_max t ~pid v =
+    if v < 0 then invalid_arg "Dial_maxreg.write_max: negative value";
+    let fa = t.blocks.(pid / t.bsize) in
+    let leaf = pid mod t.bsize in
+    let cur = F.read_leaf fa leaf in
+    let cur = if cur = bot then 0 else cur in
+    if v > cur then F.update fa ~leaf v
+
+  let write_max_metered t ~metrics ~pid v =
+    if v < 0 then invalid_arg "Dial_maxreg.write_max: negative value";
+    let fa = t.blocks.(pid / t.bsize) in
+    let leaf = pid mod t.bsize in
+    let cur = F.read_leaf fa leaf in
+    let cur = if cur = bot then 0 else cur in
+    if v > cur then F.update_metered fa ~metrics ~domain:pid ~leaf v
+end

@@ -36,8 +36,11 @@ let pp ppf = function
 let to_string plan = Fmt.str "%a" pp plan
 
 let parse_fault s =
+  (* numbers and the kind tolerate surrounding whitespace, so a plan
+     pretty-printed with spaces ("crash: 0 @ 2") round-trips — only the
+     separators (':' '@' '#' '+' ',') carry structure *)
   let int_of s =
-    match int_of_string_opt s with
+    match int_of_string_opt (String.trim s) with
     | Some v when v >= 0 -> Ok v
     | Some _ | None -> Error (Printf.sprintf "bad number %S in fault" s)
   in
@@ -45,7 +48,7 @@ let parse_fault s =
   match String.index_opt s ':' with
   | None -> Error (Printf.sprintf "fault %S: expected KIND:ARGS" s)
   | Some i -> (
-    let kind = String.sub s 0 i in
+    let kind = String.trim (String.sub s 0 i) in
     let args = String.sub s (i + 1) (String.length s - i - 1) in
     let split c =
       match String.index_opt args c with
@@ -90,7 +93,15 @@ let parse s =
     |> List.fold_left
          (fun acc part ->
            Result.bind acc (fun plan ->
-               Result.map (fun f -> f :: plan) (parse_fault part)))
+               Result.bind (parse_fault part) (fun f ->
+                   (* a clause repeated verbatim is always a mistake (the
+                      plan semantics would silently apply it once), so
+                      reject it instead of deduplicating *)
+                   if List.mem f plan then
+                     Error
+                       (Printf.sprintf "duplicate fault clause %s"
+                          (to_string [ f ]))
+                   else Ok (f :: plan))))
          (Ok [])
     |> Result.map List.rev
 

@@ -68,6 +68,11 @@ val to_string : plan -> string
     [haltbut:PID\@AT], comma-separated. *)
 
 val parse : string -> (plan, string) result
+(** Inverse of {!to_string}: [parse (to_string plan) = Ok plan] for
+    every duplicate-free plan, preserving clause order.  Whitespace
+    around numbers, kinds and commas is tolerated; a clause repeated
+    verbatim is rejected with a clear error (it would silently apply
+    once). *)
 
 (** {1 Program-level composition} *)
 

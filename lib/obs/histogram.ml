@@ -90,11 +90,16 @@ let mean t = if t.count = 0 then nan else float_of_int t.sum /. float_of_int t.c
 
 (* Value at the given percentile: the midpoint of the bucket containing
    the rank-[ceil (p/100 * count)] sample, clamped to the exact extremes
-   (so percentile 0 is [min_value] and 100 is [max_value] exactly). *)
+   (so percentile 0 is [min_value] and 100 is [max_value] exactly, and a
+   single-sample histogram reports the sample itself at every p, never a
+   bucket bound below it).  Empty histograms report 0 — the same
+   degenerate value [min_value]/[max_value] report — rather than nan,
+   which would poison downstream JSON rendering and comparisons.  A nan
+   [p] clamps to 0 instead of propagating. *)
 let percentile t p =
-  if t.count = 0 then nan
+  if t.count = 0 then 0.
   else begin
-    let p = Float.max 0. (Float.min 100. p) in
+    let p = if p >= 0. && p <= 100. then p else if p > 100. then 100. else 0. in
     let rank =
       Float.to_int (Float.round (p /. 100. *. float_of_int t.count)) |> max 1
     in

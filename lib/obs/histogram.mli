@@ -33,8 +33,12 @@ val mean : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [0, 100]: midpoint of the bucket holding
-    the rank-[p] sample, clamped to the exact extremes; nan when empty.
-    Monotone in [p]. *)
+    the rank-[p] sample, clamped to the exact extremes — so a
+    single-sample histogram reports the sample itself at every [p], and
+    [percentile t 0] / [percentile t 100] are exactly {!min_value} /
+    {!max_value}.  0 when empty (the degenerate value the exact extremes
+    report), never nan; out-of-range or nan [p] clamps.  Monotone in
+    [p]. *)
 
 val pp : t Fmt.t
 

@@ -1,0 +1,59 @@
+(* The read/update tradeoff dial of Theorem 1, as block geometry.
+
+   Theorem 1 is a curve: an O(f(N)) CounterRead forces an
+   Omega(log(N/f(N))) CounterIncrement.  A dial point picks f; the
+   block-structured constructions (Dial_counter, Dial_maxreg) group the
+   N per-process leaves into [width] blocks of [block_size] leaves, each
+   block an f-array subtree of depth O(log(N/f)) — read collects the
+   [width] block roots, an update propagates only inside its own block.
+
+   The four points cover the frontier end to end: [F_one] coincides with
+   the f-array structures (read O(1), update O(log N)), [F_n] with the
+   naive ones (read O(N), update O(1)), [F_log] and [F_sqrt] are the
+   interior points no prior structure in this repo exercised. *)
+
+type t = F_one | F_log | F_sqrt | F_n
+
+let all = [ F_one; F_log; F_sqrt; F_n ]
+
+let name = function
+  | F_one -> "f1"
+  | F_log -> "flog"
+  | F_sqrt -> "fsqrt"
+  | F_n -> "fn"
+
+let of_string = function
+  | "f1" -> Some F_one
+  | "flog" -> Some F_log
+  | "fsqrt" -> Some F_sqrt
+  | "fn" -> Some F_n
+  | _ -> None
+
+let ceil_log2 n =
+  let rec go d v = if v >= n then d else go (d + 1) (2 * v) in
+  go 0 1
+
+(* Smallest k with k*k >= n. *)
+let ceil_sqrt n =
+  let rec go k = if k * k >= n then k else go (k + 1) in
+  if n <= 0 then 0 else go 1
+
+(* f(N): how many block roots a read collects.  Clamped into [1, n] so
+   every dial is well-formed at every size (at n <= 2 the four points
+   partially coincide, as they do asymptotically). *)
+let width ~n t =
+  if n <= 0 then invalid_arg "Dial.width: n must be > 0";
+  let f =
+    match t with
+    | F_one -> 1
+    | F_log -> ceil_log2 n
+    | F_sqrt -> ceil_sqrt n
+    | F_n -> n
+  in
+  min n (max 1 f)
+
+(* Leaves per block: ceil(n / width).  An update pays
+   O(log block_size) = O(log(N/f)) propagation steps. *)
+let block_size ~n t =
+  let f = width ~n t in
+  (n + f - 1) / f

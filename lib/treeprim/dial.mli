@@ -1,0 +1,27 @@
+(** The read/update tradeoff dial of Theorem 1, as block geometry: a
+    dial point picks f(N), the number of block roots a read collects;
+    the N per-process leaves are grouped into [width] blocks of
+    [block_size] leaves, each an f-array subtree of depth O(log(N/f)).
+
+    [F_one] coincides with the f-array structures (read O(1), update
+    O(log N)), [F_n] with the naive ones (read O(N), update O(1));
+    [F_log] and [F_sqrt] are the interior frontier points. *)
+
+type t = F_one | F_log | F_sqrt | F_n
+
+val all : t list
+(** In increasing-f order: [F_one; F_log; F_sqrt; F_n]. *)
+
+val name : t -> string
+(** ["f1" | "flog" | "fsqrt" | "fn"] — CLI and JSON spelling. *)
+
+val of_string : string -> t option
+
+val width : n:int -> t -> int
+(** f(N) clamped into [1, n]: 1, ceil(log2 n), ceil(sqrt n), or n. *)
+
+val block_size : n:int -> t -> int
+(** Leaves per block, [ceil (n / width)]. *)
+
+val ceil_log2 : int -> int
+val ceil_sqrt : int -> int

@@ -166,6 +166,51 @@ let hybrid_measurements () =
   [ ([ "Hybrid_snapshot"; "Make"; "update" ], n, upd);
     ([ "Hybrid_snapshot"; "Make"; "scan" ], n, sc) ]
 
+(* The dial family instantiates one construction at four dial points;
+   the static rows certify the worst case over the dial (read Linear,
+   update Log), so the row measurement takes the max over every dial —
+   and a separate test below holds each dial point to its own tighter
+   parametric budget. *)
+let dial_point_measurements dial =
+  let s = Memsim.Session.create () in
+  let c = Harness.Instances.counter_dial_sim s ~n dial in
+  let r = Harness.Instances.maxreg_dial_sim s ~n dial in
+  let c_inc =
+    max_steps s
+      (List.map
+         (fun i () -> c.Counters.Counter.increment ~pid:(i mod n))
+         [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+  in
+  let c_read =
+    max_steps s
+      (List.map (fun _ () -> ignore (c.Counters.Counter.read ())) [ 1; 2 ])
+  in
+  let m_write =
+    max_steps s
+      (List.map
+         (fun v () -> r.Maxreg.Max_register.write_max ~pid:(v mod n) v)
+         values)
+  in
+  let m_read =
+    max_steps s
+      (List.map (fun _ () -> ignore (r.Maxreg.Max_register.read_max ())) values)
+  in
+  (c_read, c_inc, m_read, m_write)
+
+let dial_measurements () =
+  let worst =
+    List.map (fun d -> (d, dial_point_measurements d)) Treeprim.Dial.all
+  in
+  let max_of proj =
+    List.fold_left (fun acc (_, m) -> max acc (proj m)) 0 worst
+  in
+  [ ([ "Dial_counter"; "Make"; "read" ], n, max_of (fun (r, _, _, _) -> r));
+    ([ "Dial_counter"; "Make"; "increment" ], n,
+     max_of (fun (_, i, _, _) -> i));
+    ([ "Dial_maxreg"; "Make"; "read_max" ], n, max_of (fun (_, _, r, _) -> r));
+    ([ "Dial_maxreg"; "Make"; "write_max" ], n,
+     max_of (fun (_, _, _, w) -> w)) ]
+
 let all_measurements () =
   List.concat
     [ maxreg_measurements Harness.Instances.Algorithm_a
@@ -192,7 +237,8 @@ let all_measurements () =
         [ "Farray_snapshot"; "Make" ] ~with_scan:true;
       farray_measurements ();
       propagate_measurements ();
-      hybrid_measurements () ]
+      hybrid_measurements ();
+      dial_measurements () ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -216,6 +262,45 @@ let test_dynamic_within_envelope () =
                 (qual op) steps cap
                 (Lint.Summary.bound_to_string row.Lint.Budgets.budget)))
     measured
+
+(* The per-dial refinement of the static worst-case rows: each dial
+   point must sit inside the envelope of its OWN parametric budget
+   (read: Const/Log/Sqrt/Linear as f grows; update: Log collapsing to
+   Const at f = n), not just the family-wide one.  Quantifies over
+   [Treeprim.Dial.all], so a new dial point is held to a budget the
+   moment it exists. *)
+let test_dial_parametric_envelope () =
+  List.iter
+    (fun dial ->
+      let f = Treeprim.Dial.width ~n dial in
+      let c_read, c_inc, m_read, m_write = dial_point_measurements dial in
+      let check what steps budget =
+        match Lint.Summary.envelope ~n budget with
+        | None ->
+          Alcotest.failf "dial %s %s: parametric budget is Unbounded"
+            (Treeprim.Dial.name dial) what
+        | Some cap ->
+          if steps > cap then
+            Alcotest.failf "dial %s %s: %d steps exceed parametric envelope %d (%s)"
+              (Treeprim.Dial.name dial) what steps cap
+              (Lint.Summary.bound_to_string budget)
+      in
+      let rb = Lint.Budgets.dial_read_budget ~f ~n in
+      let ub = Lint.Budgets.dial_update_budget ~f ~n in
+      check "counter read" c_read rb;
+      check "counter increment" c_inc ub;
+      check "maxreg read_max" m_read rb;
+      check "maxreg write_max" m_write ub;
+      (* the dial really dials: extreme points have the extreme classes *)
+      match dial with
+      | Treeprim.Dial.F_one ->
+        Alcotest.(check string) "f1 read class" "const"
+          (Lint.Summary.class_name rb)
+      | Treeprim.Dial.F_n ->
+        Alcotest.(check string) "fn update class" "const"
+          (Lint.Summary.class_name ub)
+      | _ -> ())
+    Treeprim.Dial.all
 
 (* The counting machinery itself: a naive-counter read really collects
    all n cells, so a differential observing 0 steps would be vacuous. *)
@@ -264,6 +349,8 @@ let () =
     [ ( "differential",
         [ Alcotest.test_case "dynamic <= static envelope" `Quick
             test_dynamic_within_envelope;
+          Alcotest.test_case "every dial point within its parametric envelope"
+            `Quick test_dial_parametric_envelope;
           Alcotest.test_case "counting is live" `Quick test_counting_is_live;
           Alcotest.test_case "every budget row covered" `Quick test_coverage
         ] ) ]

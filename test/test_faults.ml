@@ -38,6 +38,44 @@ let test_plan_roundtrip () =
       | Ok _ -> Alcotest.fail (Printf.sprintf "%S must not parse" bad))
     [ "crash:0"; "crash:x@1"; "casfail:1#0"; "stall:1@2"; "frob:1@2"; "crash:-1@2" ]
 
+(* regression: inner whitespace used to fail (int_of_string doesn't trim),
+   so a hand-edited plan like "crash: 0 @ 2" was rejected even though
+   whitespace around commas worked.  Every clause kind, with spaces in
+   every position, must parse to the same plan as the compact form. *)
+let test_parse_whitespace () =
+  let check_same spaced compact =
+    match (Faults.parse spaced, Faults.parse compact) with
+    | Ok a, Ok b ->
+      Alcotest.(check bool) (Printf.sprintf "%S ≡ %S" spaced compact) true (a = b)
+    | Error e, _ -> Alcotest.fail (Printf.sprintf "%S: %s" spaced e)
+    | _, Error e -> Alcotest.fail (Printf.sprintf "%S: %s" compact e)
+  in
+  check_same "crash: 0 @ 2" "crash:0@2";
+  check_same " casfail : 1 # 3 " "casfail:1#3";
+  check_same "stall: 1 @ 3 + 12" "stall:1@3+12";
+  check_same "haltbut: 2 @ 9" "haltbut:2@9";
+  check_same "crash: 0 @ 2 , stall: 1 @ 3 + 12" "crash:0@2,stall:1@3+12"
+
+(* regression: a clause repeated verbatim used to be accepted silently —
+   but instrument/gate apply it once, so the plan lied about itself.  It
+   must now be rejected, with an error a human can act on. *)
+let test_parse_duplicate_rejected () =
+  (match Faults.parse "crash:0@2,stall:1@3+4,crash:0@2" with
+   | Ok _ -> Alcotest.fail "duplicate clause must not parse"
+   | Error e ->
+     let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     Alcotest.(check bool)
+       (Printf.sprintf "error mentions duplicate: %S" e)
+       true (contains e "duplicate"));
+  (* distinct clauses of the same kind are not duplicates *)
+  match Faults.parse "crash:0@2,crash:0@3,crash:1@2" with
+  | Ok p -> Alcotest.(check int) "three distinct crashes" 3 (List.length p)
+  | Error e -> Alcotest.fail e
+
 let test_single_fault_enumerations () =
   Alcotest.(check int) "1-crash plans = sum of solo counts" (4 + 2 + 3)
     (List.length (Faults.single_crash_plans ~counts:[| 4; 2; 3 |]));
@@ -430,6 +468,25 @@ let plan_arb ~n =
     ~print:Faults.to_string
     QCheck.Gen.(list_size (int_range 1 3) (fault_gen ~n))
 
+(* print/parse round-trip over arbitrary duplicate-free plans — the
+   unit pins above check hand-picked clauses; this fuzzes the whole
+   space, including whitespace-injected renderings *)
+let dedup plan =
+  List.rev
+    (List.fold_left
+       (fun acc f -> if List.mem f acc then acc else f :: acc)
+       [] plan)
+
+let qcheck_parse_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"parse (to_string plan) = Ok plan"
+    (QCheck.map dedup (plan_arb ~n:4))
+    (fun plan ->
+      Faults.parse (Faults.to_string plan) = Ok plan
+      && (* spaces around every clause survive too *)
+      Faults.parse
+        (String.concat " , " (List.map (fun f -> Faults.to_string [ f ]) plan))
+      = Ok plan)
+
 let surviving_history_linearizable name make_scenario check =
   QCheck.Test.make ~count:150
     ~name:(name ^ ": surviving histories linearize under random plans")
@@ -473,6 +530,11 @@ let () =
   Alcotest.run "faults"
     [ ( "plan dsl",
         [ Alcotest.test_case "print/parse round-trip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "whitespace tolerated everywhere" `Quick
+            test_parse_whitespace;
+          Alcotest.test_case "duplicate clause rejected" `Quick
+            test_parse_duplicate_rejected;
+          QCheck_alcotest.to_alcotest ~verbose:false qcheck_parse_roundtrip;
           Alcotest.test_case "single-fault enumerations" `Quick
             test_single_fault_enumerations;
           Alcotest.test_case "plan minimization" `Quick test_minimize_plan ] );

@@ -246,6 +246,84 @@ let test_table_ragged_rows () =
   in
   Alcotest.(check bool) "renders" true (String.length out > 0)
 
+(* {1 Baseline diffing: asymmetric rows must be visible, not skipped} *)
+
+module B = Benchkit.Baseline
+module J = Obs.Json_out
+
+let entry ~structure ~impl ?(backend = "native") ?(domains = 1)
+    ?(read_pct = 50) ~mops () =
+  { B.structure; impl; backend; domains; read_pct; mops }
+
+let doc_of_entries es =
+  J.Obj
+    [ ("schema", J.Str "bench-native/v4");
+      ( "rows",
+        J.List
+          (List.map
+             (fun (e : B.entry) ->
+               J.Obj
+                 [ ("structure", J.Str e.structure);
+                   ("impl", J.Str e.impl);
+                   ("backend", J.Str e.backend);
+                   ("domains", J.Int e.domains);
+                   ("read_pct", J.Int e.read_pct);
+                   ("mops", J.Float e.mops) ])
+             es) ) ]
+
+(* regression: rows present on only one side used to vanish without a
+   trace from [diff] — with fully disjoint row sets the report claimed
+   "0/1 rows matched" and nothing else.  Both sides must now be
+   reported, warn-only. *)
+let test_baseline_disjoint_rows_warn () =
+  let base = [ entry ~structure:"counter" ~impl:"farray" ~mops:10. () ] in
+  let cur = [ entry ~structure:"maxreg" ~impl:"cas" ~mops:20. () ] in
+  let d = B.diff ~baseline:base ~current:cur in
+  Alcotest.(check int) "no matches" 0 (List.length d.B.matched);
+  Alcotest.(check int) "baseline-only counted" 1
+    (List.length d.B.baseline_only);
+  Alcotest.(check int) "current-only counted" 1 (List.length d.B.current_only);
+  let a =
+    B.analyze ~baseline:(doc_of_entries base) ~current:(doc_of_entries cur) ()
+  in
+  let mentions sub =
+    List.exists
+      (fun w ->
+        let n = String.length w and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub w i m = sub || go (i + 1)) in
+        go 0)
+      a.B.warnings
+  in
+  Alcotest.(check bool) "baseline-only row warned about" true
+    (mentions "only in the baseline");
+  Alcotest.(check bool) "current-only row warned about" true
+    (mentions "only in the current run");
+  Alcotest.(check bool) "named in the warning" true
+    (mentions "counter/farray" && mentions "maxreg/cas");
+  Alcotest.(check int) "still warn-only: no regressions" 0
+    (B.regression_count a)
+
+let test_baseline_bad_mops_warn () =
+  (* a matched key whose baseline mops is 0 or non-finite is unusable
+     for a ratio, but must be flagged rather than skipped *)
+  let base = [ entry ~structure:"counter" ~impl:"farray" ~mops:0. () ] in
+  let cur = [ entry ~structure:"counter" ~impl:"farray" ~mops:20. () ] in
+  let d = B.diff ~baseline:base ~current:cur in
+  Alcotest.(check int) "no matches" 0 (List.length d.B.matched);
+  Alcotest.(check int) "bad baseline counted" 1 (List.length d.B.bad_baseline);
+  Alcotest.(check int) "not misreported as baseline-only" 0
+    (List.length d.B.baseline_only)
+
+let test_baseline_symmetric_rows_quiet () =
+  (* identical key sets must not trip the asymmetry warnings *)
+  let base = [ entry ~structure:"counter" ~impl:"farray" ~mops:10. () ] in
+  let cur = [ entry ~structure:"counter" ~impl:"farray" ~mops:11. () ] in
+  let d = B.diff ~baseline:base ~current:cur in
+  Alcotest.(check int) "matched" 1 (List.length d.B.matched);
+  Alcotest.(check int) "no baseline-only" 0 (List.length d.B.baseline_only);
+  Alcotest.(check int) "no current-only" 0 (List.length d.B.current_only);
+  Alcotest.(check int) "no bad baseline" 0 (List.length d.B.bad_baseline)
+
 let () =
   Alcotest.run "harness"
     [ ( "counting memory",
@@ -274,4 +352,11 @@ let () =
             test_run_batched_latency_measured_window ] );
       ( "tables",
         [ Alcotest.test_case "render" `Quick test_table_render;
-          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows ] ) ]
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows ] );
+      ( "baseline",
+        [ Alcotest.test_case "disjoint rows warn both ways" `Quick
+            test_baseline_disjoint_rows_warn;
+          Alcotest.test_case "unusable baseline mops warns" `Quick
+            test_baseline_bad_mops_warn;
+          Alcotest.test_case "symmetric rows stay quiet" `Quick
+            test_baseline_symmetric_rows_quiet ] ) ]

@@ -77,7 +77,43 @@ let test_hist_empty () =
   Alcotest.(check int) "min" 0 (H.min_value h);
   Alcotest.(check int) "max" 0 (H.max_value h);
   Alcotest.(check bool) "mean nan" true (Float.is_nan (H.mean h));
-  Alcotest.(check bool) "p50 nan" true (Float.is_nan (H.percentile h 50.))
+  (* regression: percentile on an empty histogram used to return nan,
+     which poisons JSON rendering and every downstream comparison; it
+     now reports 0 like min_value/max_value do *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f empty = 0" p)
+        0. (H.percentile h p))
+    [ 0.; 50.; 95.; 99.; 100. ]
+
+(* regression: a single sample in a wide log bucket must be reported
+   exactly at every p — the bucket midpoint may lie below the sample and
+   the bucket lower bound certainly does; the clamp to [min, max] is
+   what guarantees exactness here. *)
+let test_hist_single_sample () =
+  let v = 1_000_003 in
+  let h = H.create () in
+  H.record h v;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f single = sample" p)
+        (float_of_int v) (H.percentile h p))
+    [ 0.; 1.; 50.; 95.; 99.; 100. ];
+  Alcotest.(check bool)
+    "bucket lower bound is below the sample (clamp is load-bearing)" true
+    (H.value_of_bucket (H.bucket_of_value v) < v)
+
+let test_hist_weird_p_clamps () =
+  let h = H.create () in
+  List.iter (H.record h) [ 2; 4; 6 ];
+  Alcotest.(check (float 1e-9)) "p(-5) = p0" (H.percentile h 0.)
+    (H.percentile h (-5.));
+  Alcotest.(check (float 1e-9)) "p(250) = p100" (H.percentile h 100.)
+    (H.percentile h 250.);
+  Alcotest.(check (float 1e-9)) "p(nan) = p0" (H.percentile h 0.)
+    (H.percentile h Float.nan)
 
 let test_hist_negative_clamps () =
   let h = H.create () in
@@ -104,6 +140,20 @@ let qcheck_percentile_monotone =
 let qcheck_percentile_in_range =
   QCheck.Test.make ~count:500 ~name:"percentiles within [min, max]"
     QCheck.(pair nonneg_list (float_bound_inclusive 100.))
+    (fun (vs, p) ->
+      let h = hist_of_list vs in
+      let x = H.percentile h p in
+      float_of_int (H.min_value h) <= x && x <= float_of_int (H.max_value h))
+
+(* same invariant over wide log buckets, where midpoints sit far from
+   the sample and only the clamp keeps the value inside [min, max] —
+   singleton lists included so the single-sample case is fuzzed too *)
+let qcheck_percentile_in_range_large =
+  QCheck.Test.make ~count:300 ~name:"percentiles within [min, max] (large values)"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 40) (int_range 0 1_000_000_000))
+        (float_bound_inclusive 100.))
     (fun (vs, p) ->
       let h = hist_of_list vs in
       let x = H.percentile h p in
@@ -446,9 +496,14 @@ let () =
       ( "histogram",
         [ Alcotest.test_case "exact stats" `Quick test_hist_exact_stats;
           Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "single sample, wide bucket" `Quick
+            test_hist_single_sample;
+          Alcotest.test_case "out-of-range/nan p clamps" `Quick
+            test_hist_weird_p_clamps;
           Alcotest.test_case "negative clamps" `Quick test_hist_negative_clamps;
           q qcheck_percentile_monotone;
           q qcheck_percentile_in_range;
+          q qcheck_percentile_in_range_large;
           q qcheck_merge_commutes;
           q qcheck_merge_is_concat ] );
       ( "metrics",
